@@ -1,0 +1,64 @@
+"""Figure 7: horizontal cache bypassing on Pascal's 24 KB unified cache.
+
+Same protocol as Figure 6 on the Pascal descriptor (32-byte sectors,
+unified L1/Texture cache, scaled to 6 KB per the input scaling). The
+paper reports the same qualitative picture as Kepler with the
+prediction within ~5% of the oracle on the favorable apps.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BYPASS_APPS,
+    PASCAL_24_SCALED,
+    bypass_experiment,
+    write_result,
+)
+from repro.analysis.report import render_bypass_table
+
+
+@pytest.mark.parametrize("app", BYPASS_APPS)
+def test_fig07_app(benchmark, app):
+    search, prediction = benchmark.pedantic(
+        bypass_experiment, args=(app, PASCAL_24_SCALED),
+        rounds=1, iterations=1,
+    )
+    oracle_norm = search.oracle_normalized
+    pred_norm = search.normalized(prediction.optimal_warps)
+    benchmark.extra_info.update({
+        "oracle_warps": search.best_warps,
+        "oracle_norm": round(oracle_norm, 3),
+        "pred_warps": prediction.optimal_warps,
+        "pred_norm": round(pred_norm, 3),
+    })
+    assert oracle_norm <= 1.0 + 1e-9
+    assert pred_norm >= oracle_norm - 1e-9
+    if app in ("bfs", "hotspot"):
+        assert oracle_norm > 0.85  # insensitive on Pascal too
+
+
+def test_fig07_table(benchmark):
+    def build():
+        rows = []
+        for app in BYPASS_APPS:
+            search, prediction = bypass_experiment(app, PASCAL_24_SCALED)
+            rows.append((
+                app,
+                search.oracle_normalized,
+                search.normalized(prediction.optimal_warps),
+                search.best_warps,
+                prediction.optimal_warps,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = render_bypass_table("Pascal 24KB (scaled-6KB)", rows)
+    gaps = [pred - oracle for _, oracle, pred, _, _ in rows]
+    text += (f"\nmean prediction gap vs oracle: "
+             f"{100 * sum(gaps) / len(gaps):.1f}% "
+             f"(paper: ~5% on Pascal)")
+    write_result("fig07_bypass_pascal.txt", text)
+
+    # Favorable apps must show benefit somewhere on Pascal as well.
+    favorable = [r for r in rows if r[0] in ("syrk", "syr2k", "srad_v2")]
+    assert min(r[1] for r in favorable) < 0.95

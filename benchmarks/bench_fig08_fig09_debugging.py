@@ -1,0 +1,69 @@
+"""Figures 8 and 9: code-centric and data-centric debugging views.
+
+Case study (E) of the paper, on bfs: find the memory accesses that
+suffer divergence, print the concatenated CPU+GPU calling context
+(Figure 8), and resolve the data object they touch back through
+cudaMemcpy to its host counterpart -- the paper's
+``d_graph_visited`` <- ``h_graph_visited`` chain (Figure 9).
+"""
+
+import pytest
+
+from benchmarks.common import profiled_report, write_result
+from repro.analysis.divergence_memory import divergent_sites
+from repro.profiler.codecentric import format_code_centric_view
+
+
+def _bfs_views():
+    report = profiled_report("bfs", modes=("memory", "blocks"))
+    session = report.session
+
+    # Pick the most-divergent access site across all kernel instances.
+    best = None
+    for profile in session.profiles:
+        for (line, col), count in divergent_sites(profile, 128).items():
+            if best is None or count > best[0]:
+                record = next(
+                    r for r in profile.memory_records
+                    if r.line == line and r.col == col
+                )
+                best = (count, profile, record)
+    count, profile, record = best
+
+    code_view = format_code_centric_view(
+        profile.host_call_path,
+        profile.call_paths.path(record.call_path_id),
+        profile.functions_by_id,
+        f"bfs.py: {record.line} (memory divergence, {count} warp events)",
+    )
+    data_view = session.data_centric_map().resolve(
+        int(record.active_addresses()[0])
+    )
+    return report, code_view, data_view
+
+
+def test_fig08_code_centric_view(benchmark):
+    report, code_view, _ = benchmark.pedantic(
+        _bfs_views, rounds=1, iterations=1
+    )
+    write_result("fig08_code_centric.txt", code_view)
+    # Figure 8's structure: CPU rows from main, then GPU rows, then leaf.
+    assert code_view.startswith("CPU 0: main()")
+    assert "GPU" in code_view
+    assert "bfs_kernel" in code_view
+    assert "bfs.py" in code_view
+
+
+def test_fig09_data_centric_view(benchmark):
+    _, _, data_view = benchmark.pedantic(_bfs_views, rounds=1, iterations=1)
+    rendered = data_view.render()
+    write_result("fig09_data_centric.txt", rendered)
+    # Figure 9's structure: device object <- cudaMemcpy <- host object,
+    # each with its allocation call path.
+    assert data_view.device is not None
+    assert data_view.transfer is not None
+    assert data_view.host is not None
+    assert data_view.device.name.startswith("d_")
+    assert data_view.host.name.startswith("h_")
+    assert "cudaMemcpy" in rendered
+    assert "prepare" in rendered  # the allocating host function

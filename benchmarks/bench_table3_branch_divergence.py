@@ -1,0 +1,85 @@
+"""Table 3: branch divergence per application.
+
+Columns: # divergent (dynamic) blocks, # total blocks, % divergence.
+The paper measures on Pascal but notes the result "applies to other
+NVIDIA GPUs since branch divergence under CUDA is independent of
+architectures" -- which also holds here (the reconvergence stack does
+not depend on the memory system), and is asserted below.
+"""
+
+import pytest
+
+from benchmarks.common import profiled_report, write_result
+from repro.analysis.divergence_branch import branch_divergence_analysis
+from repro.analysis.report import render_branch_table
+from repro.apps import APP_NAMES
+from repro.gpu.arch import KEPLER_K40C, PASCAL_P100
+
+#: Paper Table 3 percentages, for qualitative (ordering/band) checks.
+PAPER_TABLE3 = {
+    "backprop": 27.64, "bfs": 31.59, "hotspot": 32.69, "lavaMD": 13.84,
+    "nn": 4.05, "nw": 69.43, "srad_v2": 34.30, "bicg": 0.0, "syrk": 0.0,
+    "syr2k": 3.82,
+}
+
+
+def _rows(arch):
+    rows = {}
+    for app in APP_NAMES:
+        rows[app] = profiled_report(
+            app, arch=arch, modes=("memory", "blocks")
+        ).branch_divergence
+    return rows
+
+
+def test_table3(benchmark):
+    rows = benchmark.pedantic(_rows, args=(PASCAL_P100,), rounds=1,
+                              iterations=1)
+    text = render_branch_table(rows)
+    write_result("table3_branch_divergence.txt", text)
+
+    measured = {app: bd.divergence_percent for app, bd in rows.items()}
+    for app, pct in measured.items():
+        benchmark.extra_info[app] = round(pct, 2)
+
+    # Paper: "NN, BICG, Syrk and Syr2k have very low frequency of branch
+    # divergence while the others (especially NW) suffer".
+    for app in ("nn", "bicg", "syrk", "syr2k"):
+        assert measured[app] < 10.0, app
+    assert measured["bicg"] == 0.0
+    assert measured["syrk"] == 0.0
+    # nw is the worst of the suite, with one scaled-input artifact: our
+    # 2048-node bfs graph keeps frontiers sparse, inflating bfs's
+    # divergence above the paper's 31.6% (see EXPERIMENTS.md), so bfs is
+    # exempted from the ordering check.
+    others = {a: p for a, p in measured.items() if a != "bfs"}
+    assert measured["nw"] == max(others.values())
+    assert measured["nw"] > 40.0
+    # The divergent apps really diverge.
+    for app in ("backprop", "bfs", "hotspot", "srad_v2"):
+        assert measured[app] > 10.0, app
+    # lavaMD sits between the clean and the heavy groups.
+    assert measured["nn"] < measured["lavaMD"] < measured["nw"]
+
+
+def test_table3_architecture_independent(benchmark):
+    """Same percentages on Kepler and Pascal (paper's independence claim)."""
+
+    def both():
+        kepler = {
+            app: profiled_report(app, arch=KEPLER_K40C,
+                                 modes=("memory", "blocks"))
+            .branch_divergence.divergence_percent
+            for app in APP_NAMES
+        }
+        pascal = {
+            app: profiled_report(app, arch=PASCAL_P100,
+                                 modes=("memory", "blocks"))
+            .branch_divergence.divergence_percent
+            for app in APP_NAMES
+        }
+        return kepler, pascal
+
+    kepler, pascal = benchmark.pedantic(both, rounds=1, iterations=1)
+    for app in APP_NAMES:
+        assert kepler[app] == pytest.approx(pascal[app], abs=1e-9), app

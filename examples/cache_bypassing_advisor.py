@@ -1,0 +1,75 @@
+"""Cache-bypassing case study: the paper's optimization (D) end to end.
+
+Profiles syrk with CUDAAdvisor, evaluates the Eq.(1) model against the
+exhaustive oracle of Li et al. on a scaled Kepler (see
+benchmarks/common.py for the scaling rationale), and prints the
+Figure 6-style comparison: baseline vs oracle vs prediction.
+
+Run:  python examples/cache_bypassing_advisor.py      (takes ~2 min)
+"""
+
+import dataclasses
+
+from repro import CUDAAdvisor, kepler_with_l1
+from repro.apps import build_app
+from repro.gpu.device import Device
+from repro.gpu.timing import TimingParams
+from repro.host.runtime import CudaRuntime
+
+
+def scaled_kepler(l1_bytes: int):
+    """2 SMs + L1 scaled 1/4, matching the scaled benchmark inputs."""
+    return dataclasses.replace(
+        kepler_with_l1(16), num_sms=2, l1_size=l1_bytes, mshr_entries=16
+    )
+
+
+def evaluate(app_name: str, l1_bytes: int) -> None:
+    arch = scaled_kepler(l1_bytes)
+    advisor = CUDAAdvisor(arch=arch, modes=("memory",),
+                          measure_overhead=False)
+    timing = TimingParams(mshr_fail_stall=60)
+
+    def fresh(profiler=None):
+        return CudaRuntime(Device(arch, timing_params=timing),
+                           profiler=profiler)
+
+    advisor._fresh_runtime = fresh
+
+    app = build_app(app_name)
+    report = advisor.profile(app)
+    prediction = report.bypass_prediction
+    print(f"--- {app_name} on Kepler with {l1_bytes // 1024} KB L1 "
+          f"(scaled) ---")
+    print(f"measured avg cache-line R.D. = "
+          f"{prediction.avg_reuse_distance:.1f}, "
+          f"M.D. degree = {prediction.divergence_degree:.2f}, "
+          f"CTAs/SM = {prediction.ctas_per_sm}")
+    print(f"Eq.(1): Opt_Num_Warps = floor({prediction.raw_value:.3f}) "
+          f"-> {prediction.optimal_warps} of {prediction.warps_per_cta} "
+          f"warps should use L1")
+
+    search, prediction = advisor.evaluate_bypass(app, prediction)
+    print(f"exhaustive search (cycles per k): "
+          f"{ {k: round(v) for k, v in search.cycles_by_warps.items()} }")
+    print(f"baseline (no bypass):   1.000")
+    print(f"oracle   (k={search.best_warps}):         "
+          f"{search.oracle_normalized:.3f}  "
+          f"({search.oracle_speedup:.2f}x speedup)")
+    pred_norm = search.normalized(prediction.optimal_warps)
+    print(f"predicted (k={prediction.optimal_warps}):        "
+          f"{pred_norm:.3f}  "
+          f"({100 * (pred_norm - search.oracle_normalized):.1f} pp from "
+          f"the oracle)")
+    print()
+
+
+def main():
+    for l1 in (4096, 12288):  # 16 KB and 48 KB Kepler configs, scaled 1/4
+        evaluate("syrk", l1)
+    print("Note how the bypassing benefit at the small L1 disappears at "
+          "the large one -- the paper's 16KB->48KB observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""CUDAAdvisor reproduction: LLVM-style GPU profiling in pure Python.
+
+Reproduces *CUDAAdvisor: LLVM-Based Runtime Profiling for Modern GPUs*
+(Shen, Song, Li, Liu -- CGO 2018) end to end: a mini-LLVM IR and kernel
+DSL frontend, the instrumentation-engine passes, a SIMT GPU simulator
+standing in for real hardware, the code-/data-centric profiler, the
+reuse-distance / memory-divergence / branch-divergence analyzers, and
+the Eq.(1) cache-bypassing advisor.
+
+Quickstart::
+
+    from repro import CUDAAdvisor, KEPLER_K40C
+    from repro.apps import build_app
+
+    advisor = CUDAAdvisor(arch=KEPLER_K40C, modes=("memory", "blocks"))
+    report = advisor.profile(build_app("bfs"))
+    print("\\n".join(report.advice()))
+"""
+
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40C, PASCAL_P100, kepler_with_l1
+from repro.gpu.device import Device, DevicePointer, LaunchResult
+from repro.host.runtime import CudaRuntime
+from repro.host.shadow_stack import host_function
+from repro.optim.advisor import AdvisorReport, CUDAAdvisor, GPUProgram
+from repro.profiler.session import ProfilingSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvisorReport",
+    "CUDAAdvisor",
+    "CudaRuntime",
+    "Device",
+    "DevicePointer",
+    "GPUArchitecture",
+    "GPUProgram",
+    "KEPLER_K40C",
+    "LaunchResult",
+    "PASCAL_P100",
+    "ProfilingSession",
+    "host_function",
+    "kepler_with_l1",
+    "__version__",
+]

@@ -1,0 +1,69 @@
+"""The CUDAAdvisor analyzer (Section 3.3 and the Section 4 case studies).
+
+Online analyses over one kernel instance's profile:
+
+* :mod:`repro.analysis.reuse_distance`     -- case study (A), Figure 4
+* :mod:`repro.analysis.divergence_memory`  -- case study (B), Figure 5
+* :mod:`repro.analysis.divergence_branch`  -- case study (C), Table 3
+* :mod:`repro.analysis.arithmetic`         -- FLOP / op-mix metrics
+
+Offline analysis:
+
+* :mod:`repro.analysis.statistics` -- aggregation (mean/min/max/stddev)
+  across kernel instances sharing a call path
+* :mod:`repro.analysis.overhead`   -- instrumentation overhead (Fig. 10)
+* :mod:`repro.analysis.report`     -- text renderings of all of the above
+"""
+
+from repro.analysis.reuse_distance import (
+    PAPER_BUCKETS,
+    ReuseDistanceHistogram,
+    ReuseDistanceModel,
+    reuse_distance_analysis,
+    reuse_distances_of_trace,
+    site_reuse_analysis,
+)
+from repro.analysis.divergence_memory import (
+    MemoryDivergenceProfile,
+    memory_divergence_analysis,
+)
+from repro.analysis.divergence_branch import (
+    BranchDivergenceProfile,
+    branch_divergence_analysis,
+)
+from repro.analysis.arithmetic import ArithmeticProfile, arithmetic_analysis
+from repro.analysis.statistics import InstanceStatistics, aggregate_instances
+from repro.analysis.overhead import OverheadReport, overhead_report
+from repro.analysis.cache_model import (
+    CacheSizeRecommendation,
+    HitRateCurve,
+    hit_rate_curve,
+    profile_stack_distances,
+    recommend_l1_size,
+    stack_distances,
+)
+
+__all__ = [
+    "CacheSizeRecommendation",
+    "HitRateCurve",
+    "hit_rate_curve",
+    "profile_stack_distances",
+    "recommend_l1_size",
+    "stack_distances",
+    "ArithmeticProfile",
+    "BranchDivergenceProfile",
+    "InstanceStatistics",
+    "MemoryDivergenceProfile",
+    "OverheadReport",
+    "PAPER_BUCKETS",
+    "ReuseDistanceHistogram",
+    "ReuseDistanceModel",
+    "aggregate_instances",
+    "arithmetic_analysis",
+    "branch_divergence_analysis",
+    "memory_divergence_analysis",
+    "overhead_report",
+    "reuse_distance_analysis",
+    "reuse_distances_of_trace",
+    "site_reuse_analysis",
+]

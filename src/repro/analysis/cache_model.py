@@ -1,0 +1,171 @@
+"""Reuse-distance-theoretic cache modelling.
+
+The paper motivates reuse distance as the tool for cache-design studies
+("combined with other detailed information ... it can be used to help
+architects predict optimal cache design such as size and
+associativity", citing Nugteren et al.'s reuse-distance GPU cache
+model). This module implements that use case:
+
+* :func:`stack_distances` -- exact LRU **stack** distances for a
+  per-CTA line trace under GPU write semantics (write-evict /
+  write-no-allocate). Unlike plain reuse distances, intervening writes
+  are handled the way the cache handles them: a write removes its line
+  from the stack and allocates nothing, so the classic theorem holds
+  exactly: *a read hits a fully-associative LRU cache of capacity C iff
+  its stack distance is < C*.
+* :func:`hit_rate_curve` -- predicted hit rate for every candidate
+  capacity from one pass over the trace.
+* :func:`recommend_l1_size` -- the smallest capacity within a tolerance
+  of the best achievable hit rate (the "optimal cache size" question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.reuse_distance import _Fenwick, INFINITE
+from repro.profiler.records import MemoryAccessRecord, MemoryOp
+
+
+def stack_distances(events: Sequence[Tuple[int, bool]]) -> List[int]:
+    """LRU stack distance per read of a (line, is_write) stream.
+
+    Returns one entry per *read*: the number of distinct lines above the
+    accessed line in the LRU stack (INFINITE when the line is not
+    resident -- first touch or killed by a write).
+    """
+    n = len(events)
+    tree = _Fenwick(n)
+    position: Dict[int, int] = {}  # line -> time of its stack slot
+    samples: List[int] = []
+
+    for t, (line, is_write) in enumerate(events):
+        prev = position.get(line)
+        if is_write:
+            # Write-evict / write-no-allocate: drop the line, add nothing.
+            if prev is not None:
+                tree.add(prev, -1)
+                del position[line]
+            continue
+        if prev is None:
+            samples.append(INFINITE)
+        else:
+            samples.append(tree.range_sum(prev + 1, t - 1))
+            tree.add(prev, -1)
+        tree.add(t, +1)
+        position[line] = t
+    return samples
+
+
+@dataclass
+class HitRateCurve:
+    """Predicted read-hit rate as a function of capacity (in lines)."""
+
+    capacities: List[int]
+    hit_rates: List[float]
+    reads: int
+    line_size: int
+
+    def rate_at(self, capacity: int) -> float:
+        best = 0.0
+        for c, r in zip(self.capacities, self.hit_rates):
+            if c <= capacity:
+                best = r
+        return best
+
+    @property
+    def max_rate(self) -> float:
+        return self.hit_rates[-1] if self.hit_rates else 0.0
+
+    def render(self, label: str = "") -> str:
+        lines = [f"Predicted L1 hit rate vs capacity {label}".rstrip()]
+        for c, r in zip(self.capacities, self.hit_rates):
+            kb = c * self.line_size / 1024
+            lines.append(f"  {kb:7.1f} KB ({c:5d} lines): {100 * r:5.1f}%")
+        return "\n".join(lines)
+
+
+def hit_rate_curve(
+    distance_samples: Iterable[int],
+    capacities: Sequence[int],
+    line_size: int = 128,
+) -> HitRateCurve:
+    """Evaluate every candidate capacity from precomputed distances."""
+    capacities = sorted(capacities)
+    counts = [0] * len(capacities)
+    reads = 0
+    for d in distance_samples:
+        reads += 1
+        if d == INFINITE:
+            continue
+        for i, c in enumerate(capacities):
+            if d < c:
+                counts[i] += 1
+                break
+    # Prefix-sum: capacity c captures every distance below it.
+    running = 0
+    rates = []
+    for count in counts:
+        running += count
+        rates.append(running / reads if reads else 0.0)
+    return HitRateCurve(list(capacities), rates, reads, line_size)
+
+
+def profile_stack_distances(
+    profile, line_size: int = 128
+) -> List[int]:
+    """Per-CTA line-granular stack distances for one kernel profile."""
+    samples: List[int] = []
+    for cta, records in sorted(profile.memory_records_by_cta().items()):
+        events: List[Tuple[int, bool]] = []
+        for record in records:
+            is_write = record.op in (MemoryOp.STORE, MemoryOp.ATOMIC)
+            for addr in record.active_addresses():
+                events.append((int(addr) // line_size, is_write))
+        samples.extend(stack_distances(events))
+    return samples
+
+
+@dataclass
+class CacheSizeRecommendation:
+    curve: HitRateCurve
+    recommended_lines: int
+    recommended_bytes: int
+    achieved_rate: float
+    tolerance: float
+
+    def render(self) -> str:
+        return (
+            f"smallest L1 within {100 * self.tolerance:.0f}% of the best "
+            f"achievable hit rate: {self.recommended_bytes // 1024} KB "
+            f"({self.recommended_lines} lines, predicted "
+            f"{100 * self.achieved_rate:.1f}% hits)"
+        )
+
+
+def recommend_l1_size(
+    profile,
+    line_size: int = 128,
+    capacities: Optional[Sequence[int]] = None,
+    tolerance: float = 0.02,
+) -> CacheSizeRecommendation:
+    """The architect's question: how much L1 does this kernel want?"""
+    if capacities is None:
+        capacities = [2 ** k for k in range(4, 13)]  # 16 .. 4096 lines
+    distances = profile_stack_distances(profile, line_size)
+    curve = hit_rate_curve(distances, capacities, line_size)
+    target = curve.max_rate - tolerance
+    chosen = curve.capacities[-1]
+    achieved = curve.max_rate
+    for c, r in zip(curve.capacities, curve.hit_rates):
+        if r >= target:
+            chosen, achieved = c, r
+            break
+    return CacheSizeRecommendation(
+        curve=curve,
+        recommended_lines=chosen,
+        recommended_bytes=chosen * line_size,
+        achieved_rate=achieved,
+        tolerance=tolerance,
+    )

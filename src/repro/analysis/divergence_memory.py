@@ -1,0 +1,96 @@
+"""Memory-divergence analysis (case study B, Figure 5).
+
+Per instrumented warp memory instruction, the number of **unique cache
+lines touched** by the active lanes (1 = fully coalesced ... 32 = fully
+divergent; the x-axis of Figure 5). The per-application distribution and
+the weighted-average **memory divergence degree** (used as M.D. in the
+Eq.(1) bypass model) are computed from the trace -- the line size is an
+analysis parameter, so one trace yields both the Kepler (128 B) and
+Pascal (32 B) views.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.coalescing import divergence_degree
+from repro.profiler.records import MemoryAccessRecord
+
+
+@dataclass
+class MemoryDivergenceProfile:
+    """Distribution of unique-cache-lines-touched per warp instruction."""
+
+    line_size: int
+    warp_size: int = 32
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, unique_lines: int) -> None:
+        self.counts[unique_lines] += 1
+
+    def merge(self, other: "MemoryDivergenceProfile") -> None:
+        self.counts.update(other.counts)
+
+    @property
+    def instructions(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def distribution(self) -> Dict[int, float]:
+        """Fraction of instructions per unique-line count (Figure 5)."""
+        total = self.instructions
+        if not total:
+            return {}
+        return {k: v / total for k, v in sorted(self.counts.items())}
+
+    @property
+    def divergence_degree(self) -> float:
+        """Average of the weighted sum of the distribution (the paper's
+        summary metric; 1.0 means perfectly coalesced)."""
+        total = self.instructions
+        if not total:
+            return 0.0
+        return sum(k * v for k, v in self.counts.items()) / total
+
+    def fraction_at(self, unique_lines: int) -> float:
+        total = self.instructions
+        return self.counts.get(unique_lines, 0) / total if total else 0.0
+
+    def top_sites(self) -> List[Tuple[int, int]]:
+        """(unique_lines, count) sorted by divergence, worst first."""
+        return sorted(self.counts.items(), key=lambda kv: -kv[0])
+
+
+def memory_divergence_analysis(
+    profile,
+    line_size: int,
+    per_line_sources: bool = False,
+) -> MemoryDivergenceProfile:
+    """Distribution over all instrumented accesses of one kernel profile."""
+    result = MemoryDivergenceProfile(line_size=line_size)
+    for record in profile.memory_records:
+        result.add(_unique_lines(record, line_size))
+    return result
+
+
+def divergent_sites(
+    profile, line_size: int, threshold: int = 2
+) -> Dict[Tuple[int, int], int]:
+    """Source locations (line, col) with divergent accesses and their
+    event counts -- the lookup behind the Figure 8 debugging view."""
+    sites: Dict[Tuple[int, int], int] = {}
+    for record in profile.memory_records:
+        if _unique_lines(record, line_size) >= threshold:
+            key = (record.line, record.col)
+            sites[key] = sites.get(key, 0) + 1
+    return sites
+
+
+def _unique_lines(record: MemoryAccessRecord, line_size: int) -> int:
+    return divergence_degree(
+        record.addresses, record.mask, max(record.bytes_per_lane, 1), line_size
+    )

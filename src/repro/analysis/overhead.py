@@ -1,0 +1,80 @@
+"""Instrumentation-overhead measurement (Section 5, Figure 10).
+
+Overhead is the ratio of instrumented to baseline execution cost of the
+same kernels on the same inputs. The paper measures wall-clock on
+hardware; here the primary metric is the simulated cycle count, whose
+cost model charges the paper's three overhead sources (hook call,
+per-lane trace formatting, atomic buffer bump -- see
+:class:`repro.gpu.timing.TimingParams`). Dynamic instruction counts and
+wall-clock are reported alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass
+class OverheadReport:
+    """Baseline-vs-instrumented comparison for one app on one arch."""
+
+    app: str
+    arch: str
+    modes: Sequence[str]
+    baseline_cycles: float
+    instrumented_cycles: float
+    baseline_instructions: int
+    instrumented_instructions: int
+    baseline_wall: float
+    instrumented_wall: float
+
+    @property
+    def cycle_overhead(self) -> float:
+        """The Figure 10 metric: instrumented time / baseline time."""
+        if self.baseline_cycles <= 0:
+            return 0.0
+        return self.instrumented_cycles / self.baseline_cycles
+
+    @property
+    def instruction_overhead(self) -> float:
+        if self.baseline_instructions <= 0:
+            return 0.0
+        return self.instrumented_instructions / self.baseline_instructions
+
+    @property
+    def wall_overhead(self) -> float:
+        if self.baseline_wall <= 0:
+            return 0.0
+        return self.instrumented_wall / self.baseline_wall
+
+    def render(self) -> str:
+        return (
+            f"{self.app:>10} on {self.arch:<7} "
+            f"[{'+'.join(self.modes)}]: "
+            f"{self.cycle_overhead:6.1f}x cycles, "
+            f"{self.instruction_overhead:5.1f}x instructions"
+        )
+
+
+def overhead_report(
+    app: str,
+    arch: str,
+    modes: Sequence[str],
+    baseline_results: Sequence,
+    instrumented_results: Sequence,
+) -> OverheadReport:
+    """Combine LaunchResults of the two runs (summing across launches)."""
+    return OverheadReport(
+        app=app,
+        arch=arch,
+        modes=tuple(modes),
+        baseline_cycles=sum(r.cycles for r in baseline_results),
+        instrumented_cycles=sum(r.cycles for r in instrumented_results),
+        baseline_instructions=sum(r.instructions for r in baseline_results),
+        instrumented_instructions=sum(
+            r.instructions for r in instrumented_results
+        ),
+        baseline_wall=sum(r.wall_seconds for r in baseline_results),
+        instrumented_wall=sum(r.wall_seconds for r in instrumented_results),
+    )

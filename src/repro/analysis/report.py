@@ -1,0 +1,91 @@
+"""Text renderings of analysis results (the tool's terminal output).
+
+Formats every case-study result the way the artifact's
+``showoutput.sh`` presents them: reuse-distance histograms (Figure 4),
+memory-divergence distributions (Figure 5), the branch-divergence table
+(Table 3) and bypass-evaluation tables (Figures 6-7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.divergence_branch import BranchDivergenceProfile
+from repro.analysis.divergence_memory import MemoryDivergenceProfile
+from repro.analysis.reuse_distance import PAPER_BUCKETS, ReuseDistanceHistogram
+
+_BAR_WIDTH = 40
+
+
+def _bar(fraction: float) -> str:
+    filled = int(round(fraction * _BAR_WIDTH))
+    return "#" * filled + "." * (_BAR_WIDTH - filled)
+
+
+def render_reuse_histogram(app: str, hist: ReuseDistanceHistogram) -> str:
+    lines = [
+        f"Reuse distance ({hist.model.value} model) -- {app}, "
+        f"{hist.samples} samples, avg finite R.D. = {hist.average_distance:.1f}"
+    ]
+    freqs = hist.frequencies
+    for label, _, _ in PAPER_BUCKETS:
+        f = freqs[label]
+        lines.append(f"  {label:>7} | {_bar(f)} {100 * f:5.1f}%")
+    f = freqs["inf"]
+    lines.append(f"  {'inf':>7} | {_bar(f)} {100 * f:5.1f}%")
+    return "\n".join(lines)
+
+
+def render_divergence_distribution(
+    app: str, profile: MemoryDivergenceProfile
+) -> str:
+    lines = [
+        f"Memory divergence ({profile.line_size}B lines) -- {app}, "
+        f"{profile.instructions} warp instructions, "
+        f"degree = {profile.divergence_degree:.2f}"
+    ]
+    for lines_touched, fraction in profile.distribution.items():
+        lines.append(
+            f"  {lines_touched:>3} lines | {_bar(fraction)} {100 * fraction:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_branch_table(
+    rows: Mapping[str, BranchDivergenceProfile]
+) -> str:
+    """The Table 3 layout."""
+    lines = [
+        f"{'Application':<12} {'# divergent blocks':>20} "
+        f"{'# total blocks':>16} {'% divergence':>14}"
+    ]
+    for app, profile in rows.items():
+        lines.append(
+            f"{app:<12} {profile.divergent_blocks:>20} "
+            f"{profile.total_blocks:>16} {profile.divergence_percent:>13.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_bypass_table(
+    arch_label: str,
+    rows: Sequence[Tuple[str, float, float, int, int]],
+) -> str:
+    """Figures 6/7 as a table.
+
+    ``rows`` entries: (app, oracle_norm_time, predicted_norm_time,
+    oracle_warps, predicted_warps); times normalized to the no-bypass
+    baseline (1.0).
+    """
+    lines = [
+        f"Horizontal bypassing on {arch_label} (normalized exec time, "
+        f"baseline = 1.0)",
+        f"{'Application':<12} {'oracle':>8} {'pred':>8} "
+        f"{'oracle warps':>13} {'pred warps':>11}",
+    ]
+    for app, oracle_t, pred_t, oracle_w, pred_w in rows:
+        lines.append(
+            f"{app:<12} {oracle_t:>8.3f} {pred_t:>8.3f} "
+            f"{oracle_w:>13} {pred_w:>11}"
+        )
+    return "\n".join(lines)

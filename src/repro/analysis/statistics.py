@@ -1,0 +1,97 @@
+"""Offline cross-instance aggregation (Section 3.3).
+
+"CUDAAdvisor's analyzer has an offline component that merges the
+analysis results of kernel instances in the same call path. It provides
+an aggregate statistical view, such as mean, min, max, and standard
+deviation across all these instances." -- this module.
+
+Instances are grouped by (kernel name, host call path); any numeric
+metric extractable from a :class:`KernelProfile` can be aggregated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.host.shadow_stack import HostFrame
+from repro.profiler.profiler import KernelProfile
+
+
+@dataclass
+class InstanceStatistics:
+    """Aggregate view of one metric across instances of one call path."""
+
+    kernel: str
+    call_path: Tuple[HostFrame, ...]
+    instances: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    def render(self) -> str:
+        path = " -> ".join(f.function for f in self.call_path)
+        return (
+            f"{self.kernel} [{path}] x{self.instances}: "
+            f"mean={self.mean:.4g} min={self.minimum:.4g} "
+            f"max={self.maximum:.4g} std={self.stddev:.4g}"
+        )
+
+
+def _stats(values: Sequence[float]) -> Tuple[float, float, float, float]:
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return mean, min(values), max(values), math.sqrt(var)
+
+
+def aggregate_instances(
+    profiles: Sequence[KernelProfile],
+    metric: Callable[[KernelProfile], float],
+) -> List[InstanceStatistics]:
+    """Group by (kernel, host call path) and aggregate ``metric``."""
+    groups: Dict[Tuple, List[KernelProfile]] = {}
+    for profile in profiles:
+        key = (profile.kernel, profile.host_call_path)
+        groups.setdefault(key, []).append(profile)
+
+    results: List[InstanceStatistics] = []
+    for (kernel, path), members in groups.items():
+        values = [float(metric(p)) for p in members]
+        if not values:
+            raise AnalysisError("metric produced no values")
+        mean, lo, hi, std = _stats(values)
+        results.append(
+            InstanceStatistics(
+                kernel=kernel,
+                call_path=path,
+                instances=len(values),
+                mean=mean,
+                minimum=lo,
+                maximum=hi,
+                stddev=std,
+            )
+        )
+    results.sort(key=lambda s: (s.kernel, -s.instances))
+    return results
+
+
+# Ready-made metrics ---------------------------------------------------------
+def metric_cycles(profile: KernelProfile) -> float:
+    if profile.launch_result is None:
+        raise AnalysisError("profile has no launch result attached")
+    return float(profile.launch_result.cycles)
+
+
+def metric_memory_events(profile: KernelProfile) -> float:
+    return float(len(profile.memory_records))
+
+
+def metric_divergent_block_fraction(profile: KernelProfile) -> float:
+    total = len(profile.block_records)
+    if not total:
+        return 0.0
+    return sum(1 for r in profile.block_records if r.divergent) / total

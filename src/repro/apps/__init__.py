@@ -1,0 +1,10 @@
+"""The Table 2 benchmark suite, re-written in the kernel DSL.
+
+Ten applications from Rodinia and Polybench with the paper's CTA shapes
+and faithful (scaled) inputs; see each module's docstring for the
+paper-input -> our-input substitution.
+"""
+
+from repro.apps.registry import APP_NAMES, AppInfo, TABLE2, app_info, build_app
+
+__all__ = ["APP_NAMES", "AppInfo", "TABLE2", "app_info", "build_app"]

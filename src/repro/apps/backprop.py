@@ -1,0 +1,166 @@
+"""backprop -- back-propagation training (Rodinia).
+
+Two kernels: ``bpnn_layerforward`` (16x16 blocks reduce input x weight
+products through shared memory into per-block partial sums for each
+hidden unit) and ``bpnn_adjust_weights`` (the weight-update sweep).
+The shared-memory tree reduction's ``ty % 2^i == 0`` guard is the
+source of backprop's 27.6% divergent blocks in Table 3.
+
+Paper input: 65536 input units; ours 1024 (64 blocks), hidden layer 16,
+16x16 blocks (8 warps/CTA).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import random_vector
+from repro.frontend import f32, i32, kernel, ptr_f32
+from repro.host.shadow_stack import host_function
+from repro.optim.advisor import GPUProgram
+
+_HEIGHT = 16
+ETA = 0.3
+MOMENTUM = 0.3
+
+
+@kernel
+def bpnn_layerforward(input_units: ptr_f32, input_weights: ptr_f32,
+                      partial_sums: ptr_f32, hid: i32):
+    by = ctaid_y
+    tx = tid_x
+    ty = tid_y
+    index = (hid + 1) * 16 * by + (hid + 1) * ty + tx + 1 + (hid + 1)
+    index_in = 16 * by + ty + 1
+
+    input_node = shared(f32, 16)
+    weight_matrix = shared(f32, 256)
+
+    if tx == 0:
+        input_node[ty] = input_units[index_in]
+    syncthreads()
+    weight_matrix[ty * 16 + tx] = input_weights[index]
+    syncthreads()
+    weight_matrix[ty * 16 + tx] = weight_matrix[ty * 16 + tx] * input_node[ty]
+    syncthreads()
+
+    power_two = 2
+    while power_two <= 16:
+        if ty % power_two == 0:
+            weight_matrix[ty * 16 + tx] = (
+                weight_matrix[ty * 16 + tx]
+                + weight_matrix[(ty + power_two // 2) * 16 + tx]
+            )
+        syncthreads()
+        power_two = power_two * 2
+
+    if ty == 0:
+        partial_sums[by * hid + tx] = weight_matrix[tx]
+
+
+@kernel
+def bpnn_adjust_weights(delta: ptr_f32, hid: i32, ly: ptr_f32,
+                        w: ptr_f32, oldw: ptr_f32):
+    by = ctaid_y
+    tx = tid_x
+    ty = tid_y
+    index = (hid + 1) * 16 * by + (hid + 1) * ty + tx + 1 + (hid + 1)
+    index_y = 16 * by + ty + 1
+    index_x = tx + 1
+    adjust = 0.3 * delta[index_x] * ly[index_y] + 0.3 * oldw[index]
+    w[index] = w[index] + adjust
+    oldw[index] = adjust
+
+
+class BackpropProgram(GPUProgram):
+    name = "backprop"
+    kernels = (bpnn_layerforward, bpnn_adjust_weights)
+    warps_per_cta = 8  # 16x16 blocks (Table 2)
+
+    def __init__(self, input_units: int = 1024, hidden: int = 16,
+                 seed: int = 29):
+        if input_units % _HEIGHT:
+            raise ValueError("input layer must be a multiple of 16")
+        if hidden != 16:
+            raise ValueError("this kernel shape fixes the hidden layer at 16")
+        self.n_in = input_units
+        self.hid = hidden
+        self.seed = seed
+
+    @host_function
+    def prepare(self, rt):
+        n_in, hid = self.n_in, self.hid
+        num_blocks = n_in // _HEIGHT
+        # Layouts follow Rodinia: unit 0 is the bias, hence the +1s.
+        units = np.zeros(n_in + 1, dtype=np.float32)
+        units[1:] = random_vector(n_in, self.seed)
+        weights = random_vector((n_in + 1) * (hid + 1), self.seed + 1)
+        weights = weights.astype(np.float32)
+        delta = random_vector(hid + 1, self.seed + 2)
+        oldw = np.zeros((n_in + 1) * (hid + 1), dtype=np.float32)
+
+        h_units = rt.host_wrap(units, "h_input_units")
+        h_weights = rt.host_wrap(weights.copy(), "h_input_weights")
+        h_delta = rt.host_wrap(delta, "h_hidden_delta")
+        h_oldw = rt.host_wrap(oldw.copy(), "h_input_prev_weights")
+
+        d = {
+            "units": units, "weights": weights, "delta": delta, "oldw": oldw,
+            "num_blocks": num_blocks,
+        }
+        d["d_units"] = rt.cuda_malloc(units.nbytes, "d_input_units")
+        d["d_weights"] = rt.cuda_malloc(weights.nbytes, "d_input_weights")
+        d["d_partial"] = rt.cuda_malloc(4 * num_blocks * hid,
+                                        "d_hidden_partial_sum")
+        d["d_delta"] = rt.cuda_malloc(delta.nbytes, "d_hidden_delta")
+        d["d_oldw"] = rt.cuda_malloc(oldw.nbytes, "d_input_prev_weights")
+        rt.cuda_memcpy_htod(d["d_units"], h_units)
+        rt.cuda_memcpy_htod(d["d_weights"], h_weights)
+        rt.cuda_memcpy_htod(d["d_delta"], h_delta)
+        rt.cuda_memcpy_htod(d["d_oldw"], h_oldw)
+        return d
+
+    @host_function
+    def run(self, rt, image, state, l1_warps_per_cta=None):
+        num_blocks = state["num_blocks"]
+        r1 = rt.launch_kernel(
+            image, "bpnn_layerforward",
+            grid=(1, num_blocks), block=(16, 16),
+            args=[state["d_units"], state["d_weights"], state["d_partial"],
+                  self.hid],
+            l1_warps_per_cta=l1_warps_per_cta,
+        )
+        r2 = rt.launch_kernel(
+            image, "bpnn_adjust_weights",
+            grid=(1, num_blocks), block=(16, 16),
+            args=[state["d_delta"], self.hid, state["d_units"],
+                  state["d_weights"], state["d_oldw"]],
+            l1_warps_per_cta=l1_warps_per_cta,
+        )
+        return [r1, r2]
+
+    def check(self, rt, state) -> bool:
+        n_in, hid = self.n_in, self.hid
+        num_blocks = state["num_blocks"]
+        units, weights = state["units"], state["weights"]
+        delta, oldw = state["delta"], state["oldw"]
+
+        # Reference partial sums: per block, sum over its 16 input rows.
+        w2d = weights.reshape(n_in + 1, hid + 1)
+        prods = w2d[1:, 1:] * units[1:, None]  # (n_in, hid)
+        expect_partial = prods.reshape(num_blocks, _HEIGHT, hid).sum(axis=1)
+
+        partial = rt.device.memcpy_dtoh(
+            state["d_partial"], np.float32, num_blocks * hid
+        ).reshape(num_blocks, hid)
+        if not np.allclose(partial, expect_partial, rtol=1e-3):
+            return False
+
+        adjust = (ETA * delta[None, 1:] * units[1:, None]
+                  + MOMENTUM * oldw.reshape(n_in + 1, hid + 1)[1:, 1:])
+        expect_w = w2d.copy()
+        expect_w[1:, 1:] += adjust
+        got_w = rt.device.memcpy_dtoh(
+            state["d_weights"], np.float32, (n_in + 1) * (hid + 1)
+        ).reshape(n_in + 1, hid + 1)
+        return bool(np.allclose(got_w[1:, 1:], expect_w[1:, 1:], rtol=1e-3))

@@ -1,0 +1,86 @@
+"""Shared input generators and helpers for the benchmark suite.
+
+Inputs are synthetic, deterministic (seeded) and scaled down from the
+paper's datasets so that the interpreted SIMT simulator finishes each
+app in about a second; each app's module documents the paper's input ->
+ours. Access-pattern structure (strides, tiling, degree distributions,
+branch structure) is preserved, which is what every profiled metric
+depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+def rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+@dataclass
+class CSRGraph:
+    """A graph in the Rodinia BFS input format.
+
+    ``graph1MW_6.txt`` is 1M nodes with ~6 edges each, uniformly random;
+    :func:`synthetic_bfs_graph` generates the same structure at reduced
+    scale.
+    """
+
+    starting: np.ndarray  # int32 (n,) first-edge index per node
+    num_edges: np.ndarray  # int32 (n,) edge count per node
+    edges: np.ndarray  # int32 (total_edges,) destination nodes
+    source: int = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.starting)
+
+    def cpu_bfs_costs(self) -> np.ndarray:
+        """Reference BFS levels (for validating the GPU result)."""
+        n = self.num_nodes
+        cost = np.full(n, -1, dtype=np.int32)
+        cost[self.source] = 0
+        frontier = [self.source]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                lo = self.starting[u]
+                hi = lo + self.num_edges[u]
+                for v in self.edges[lo:hi]:
+                    if cost[v] < 0:
+                        cost[v] = cost[u] + 1
+                        nxt.append(int(v))
+            frontier = nxt
+        return cost
+
+
+def synthetic_bfs_graph(
+    num_nodes: int = 2048, degree: int = 6, seed: int = 7
+) -> CSRGraph:
+    """A degree-``degree`` uniform random graph (graph1MW_6 structure)."""
+    r = rng(seed)
+    counts = np.full(num_nodes, degree, dtype=np.int32)
+    starting = np.zeros(num_nodes, dtype=np.int32)
+    starting[1:] = np.cumsum(counts)[:-1].astype(np.int32)
+    edges = r.integers(0, num_nodes, size=int(counts.sum()), dtype=np.int32)
+    # Ensure connectivity along a ring so BFS reaches every node.
+    for u in range(num_nodes):
+        edges[starting[u]] = (u + 1) % num_nodes
+    return CSRGraph(starting, counts, edges)
+
+
+def random_matrix(n: int, m: int, seed: int, scale: float = 1.0) -> np.ndarray:
+    return (rng(seed).random((n, m), dtype=np.float32) * scale).astype(
+        np.float32
+    )
+
+
+def random_vector(n: int, seed: int, scale: float = 1.0) -> np.ndarray:
+    return (rng(seed).random(n, dtype=np.float32) * scale).astype(np.float32)
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

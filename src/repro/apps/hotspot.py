@@ -1,0 +1,145 @@
+"""hotspot -- thermal simulation stencil (Rodinia).
+
+Iterative 5-point stencil over a temperature grid driven by a power
+map: each step reads the four neighbours (from a shared-memory tile
+where possible, global memory at tile borders -- the Rodinia kernel's
+halo structure) and integrates. Border clamping produces the moderate
+branch divergence the paper reports (32.7%), and the tile reuse gives
+hotspot its "long reuse distance + very high no-reuse" Figure 4 profile
+that makes it insensitive to L1 optimizations.
+
+Paper input: ``temp_512 power_512`` (512x512); ours 64x64, 4 steps,
+16x16 blocks (8 warps/CTA).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import ceil_div, random_matrix
+from repro.frontend import f32, i32, kernel, ptr_f32
+from repro.host.shadow_stack import host_function
+from repro.optim.advisor import GPUProgram
+
+_TILE = 16
+
+
+@kernel
+def hotspot_kernel(power: ptr_f32, temp_src: ptr_f32, temp_dst: ptr_f32,
+                   n: i32, step_div_cap: f32, rx: f32, ry: f32, rz: f32,
+                   amb: f32):
+    tile = shared(f32, 256)
+    tx = tid_x
+    ty = tid_y
+    col = ctaid_x * 16 + tx
+    row = ctaid_y * 16 + ty
+    idx = row * n + col
+    tile[ty * 16 + tx] = temp_src[idx]
+    syncthreads()
+
+    center = tile[ty * 16 + tx]
+    if row > 0:
+        if ty > 0:
+            north = tile[(ty - 1) * 16 + tx]
+        else:
+            north = temp_src[idx - n]
+    else:
+        north = center
+    if row < n - 1:
+        if ty < 15:
+            south = tile[(ty + 1) * 16 + tx]
+        else:
+            south = temp_src[idx + n]
+    else:
+        south = center
+    if col > 0:
+        if tx > 0:
+            west = tile[ty * 16 + tx - 1]
+        else:
+            west = temp_src[idx - 1]
+    else:
+        west = center
+    if col < n - 1:
+        if tx < 15:
+            east = tile[ty * 16 + tx + 1]
+        else:
+            east = temp_src[idx + 1]
+    else:
+        east = center
+
+    delta = step_div_cap * (
+        power[idx]
+        + (east + west - 2.0 * center) / rx
+        + (north + south - 2.0 * center) / ry
+        + (amb - center) / rz
+    )
+    temp_dst[idx] = center + delta
+
+
+class HotspotProgram(GPUProgram):
+    name = "hotspot"
+    kernels = (hotspot_kernel,)
+    warps_per_cta = 8  # 16x16 blocks (Table 2)
+
+    def __init__(self, n: int = 64, steps: int = 4, seed: int = 17):
+        if n % _TILE:
+            raise ValueError("grid size must be a multiple of 16")
+        self.n = n
+        self.steps = steps
+        self.seed = seed
+        self.step_div_cap = 0.001
+        self.rx, self.ry, self.rz = 10.0, 10.0, 4.0
+        self.amb = 80.0
+
+    @host_function
+    def prepare(self, rt):
+        n = self.n
+        temp = (random_matrix(n, n, self.seed) * 40.0 + 50.0).astype(np.float32)
+        power = random_matrix(n, n, self.seed + 1).astype(np.float32)
+        h_temp = rt.host_wrap(temp.reshape(-1).copy(), "h_temp")
+        h_power = rt.host_wrap(power.reshape(-1), "h_power")
+        d_power = rt.cuda_malloc(power.nbytes, "d_power")
+        d_t0 = rt.cuda_malloc(temp.nbytes, "d_temp0")
+        d_t1 = rt.cuda_malloc(temp.nbytes, "d_temp1")
+        rt.cuda_memcpy_htod(d_power, h_power)
+        rt.cuda_memcpy_htod(d_t0, h_temp)
+        return {"temp": temp, "power": power,
+                "d_power": d_power, "d_t0": d_t0, "d_t1": d_t1}
+
+    @host_function
+    def run(self, rt, image, state, l1_warps_per_cta=None):
+        n = self.n
+        blocks = n // _TILE
+        results = []
+        src, dst = state["d_t0"], state["d_t1"]
+        for _ in range(self.steps):
+            results.append(rt.launch_kernel(
+                image, "hotspot_kernel",
+                grid=(blocks, blocks), block=(_TILE, _TILE),
+                args=[state["d_power"], src, dst, n, self.step_div_cap,
+                      self.rx, self.ry, self.rz, self.amb],
+                l1_warps_per_cta=l1_warps_per_cta,
+            ))
+            src, dst = dst, src
+        state["final"] = src
+        return results
+
+    def check(self, rt, state) -> bool:
+        n = self.n
+        out = rt.device.memcpy_dtoh(state["final"], np.float32, n * n)
+        temp = state["temp"].astype(np.float64).copy()
+        power = state["power"].astype(np.float64)
+        for _ in range(self.steps):
+            padded = np.pad(temp, 1, mode="edge")
+            north = padded[:-2, 1:-1]
+            south = padded[2:, 1:-1]
+            west = padded[1:-1, :-2]
+            east = padded[1:-1, 2:]
+            delta = self.step_div_cap * (
+                power
+                + (east + west - 2 * temp) / self.rx
+                + (north + south - 2 * temp) / self.ry
+                + (self.amb - temp) / self.rz
+            )
+            temp = temp + delta
+        return bool(np.allclose(out.reshape(n, n), temp, rtol=1e-3, atol=1e-3))

@@ -1,0 +1,80 @@
+"""The benchmark registry (Table 2 of the paper).
+
+Maps application names to builders plus the Table 2 metadata (warps per
+CTA, the paper's input, our scaled input). ``build_app(name)`` returns
+a ready-to-profile :class:`~repro.optim.advisor.GPUProgram`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.apps.backprop import BackpropProgram
+from repro.apps.bfs import BFSProgram
+from repro.apps.bicg import BicgProgram
+from repro.apps.hotspot import HotspotProgram
+from repro.apps.lavamd import LavaMDProgram
+from repro.apps.nn import NNProgram
+from repro.apps.nw import NWProgram
+from repro.apps.srad import SradProgram
+from repro.apps.syr2k import Syr2kProgram
+from repro.apps.syrk import SyrkProgram
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    """One Table 2 row."""
+
+    name: str
+    description: str
+    warps_per_cta: int
+    paper_input: str
+    our_input: str
+    source: str
+    builder: Callable
+
+
+TABLE2: Tuple[AppInfo, ...] = (
+    AppInfo("backprop", "Back Propagation", 8, "65536",
+            "1024 inputs, 16 hidden", "Rodinia", BackpropProgram),
+    AppInfo("bfs", "Breadth First Search", 16, "graph1MW_6.txt",
+            "synthetic 2048-node degree-6 graph", "Rodinia", BFSProgram),
+    AppInfo("hotspot", "Temperature Simulation", 8, "temp_512 power_512",
+            "64x64 grid, 4 steps", "Rodinia", HotspotProgram),
+    AppInfo("lavaMD", "Molecular Dynamics", 4, "-boxes1d 10",
+            "boxes1d=2, 72 particles/box", "Rodinia", LavaMDProgram),
+    AppInfo("nn", "Nearest Neighbor", 8,
+            "filelist_4 -r 5 -lat 30 -lng 90",
+            "4096 records, lat 30 lng 90", "Rodinia", NNProgram),
+    AppInfo("nw", "Needleman-Wunsch", 1, "2048 10",
+            "128x128, penalty 10", "Rodinia", NWProgram),
+    AppInfo("srad_v2", "Speckle Reducing Anisotropic Diffusion", 8,
+            "2048 2048 0 127 0 127 0.5 2", "64x64, lambda 0.5, 2 iters",
+            "Rodinia", SradProgram),
+    AppInfo("bicg", "BiCGStab Linear Solver kernels", 8, "1024*1024",
+            "128x128", "Polybench", BicgProgram),
+    AppInfo("syrk", "Symmetric Rank-K Operations", 8, "default",
+            "64x64", "Polybench", SyrkProgram),
+    AppInfo("syr2k", "Symmetric Rank-2K Operations", 8, "default",
+            "64x64", "Polybench", Syr2kProgram),
+)
+
+_BY_NAME: Dict[str, AppInfo] = {info.name: info for info in TABLE2}
+
+APP_NAMES: Tuple[str, ...] = tuple(info.name for info in TABLE2)
+
+
+def app_info(name: str) -> AppInfo:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown app {name!r}; available: {', '.join(APP_NAMES)}"
+        ) from None
+
+
+def build_app(name: str, **kwargs):
+    """Instantiate one of the Table 2 benchmarks."""
+    return app_info(name).builder(**kwargs)

@@ -1,0 +1,15 @@
+"""Backend: IR -> PTX-like assembly -> fat binary.
+
+Completes the Figure 2 compilation workflow: the instrumented device
+bitcode is lowered to PTX text (:mod:`repro.backend.ptx`), assembled
+into a fat-binary container (:mod:`repro.backend.fatbin`) and embedded
+into the host program, which registers it with the runtime at startup.
+The simulator executes the IR that produced the PTX; the PTX is the
+inspectable artifact (and carries the Listing-5 style cache-operator
+annotations produced by the bypass pass).
+"""
+
+from repro.backend.ptx import lower_module_to_ptx
+from repro.backend.fatbin import FatBinary, embed_fatbin
+
+__all__ = ["FatBinary", "embed_fatbin", "lower_module_to_ptx"]

@@ -1,0 +1,80 @@
+"""Fat binaries: PTX images bundled per compute capability.
+
+On the real toolchain, ``ptxas`` output is packed into a ``.fatbin``
+section that the host binary registers with the CUDA runtime at load
+time. :class:`FatBinary` is that container; :func:`embed_fatbin`
+attaches it to a host module as a string literal, which is what the
+paper's Figure 2 shows ("the fat binary ... is then inserted to the
+host-side CPU bitcode as a string literal").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import BackendError
+from repro.backend.ptx import lower_module_to_ptx
+from repro.ir.module import Module
+
+MAGIC = "CUFATBIN-REPRO-1"
+
+
+@dataclass
+class FatBinary:
+    """A bundle of PTX images keyed by compute capability."""
+
+    module_name: str
+    images: Dict[str, str] = field(default_factory=dict)
+
+    def add_image(self, compute_capability: str, ptx: str) -> None:
+        self.images[compute_capability] = ptx
+
+    def best_image(self, compute_capability: str) -> str:
+        """Highest image not exceeding the device's capability (JIT rule)."""
+        usable = [
+            cc for cc in self.images if float(cc) <= float(compute_capability)
+        ]
+        if not usable:
+            raise BackendError(
+                f"fat binary has no image for sm_{compute_capability}"
+            )
+        return self.images[max(usable, key=float)]
+
+    def serialize(self) -> str:
+        payload = {
+            "magic": MAGIC,
+            "module": self.module_name,
+            "images": self.images,
+        }
+        blob = json.dumps(payload, sort_keys=True)
+        digest = hashlib.sha256(blob.encode()).hexdigest()[:16]
+        return f"{digest}:{blob}"
+
+    @classmethod
+    def deserialize(cls, text: str) -> "FatBinary":
+        digest, _, blob = text.partition(":")
+        if hashlib.sha256(blob.encode()).hexdigest()[:16] != digest:
+            raise BackendError("corrupt fat binary")
+        payload = json.loads(blob)
+        if payload.get("magic") != MAGIC:
+            raise BackendError("not a fat binary")
+        fat = cls(payload["module"])
+        fat.images = payload["images"]
+        return fat
+
+
+def build_fatbin(
+    device_module: Module, compute_capabilities: List[str]
+) -> FatBinary:
+    fat = FatBinary(device_module.name)
+    for cc in compute_capabilities:
+        fat.add_image(cc, lower_module_to_ptx(device_module, cc))
+    return fat
+
+
+def embed_fatbin(host_module: Module, fat: FatBinary) -> None:
+    """Insert the serialized fat binary into the host module as a string."""
+    host_module.add_string(fat.serialize())

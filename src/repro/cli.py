@@ -1,0 +1,205 @@
+"""Command-line interface (the artifact's ``run.sh``/``showoutput.sh``).
+
+The paper's artifact runs each benchmark in three analysis modes and
+dumps text results into ``RD_mode`` (reuse distance), ``MD_mode``
+(memory divergence) and ``BD_mode`` (branch divergence) directories;
+this CLI reproduces that workflow::
+
+    python -m repro list
+    python -m repro profile bfs --arch kepler --modes memory,blocks
+    python -m repro bypass syrk --l1 16
+    python -m repro ptx hotspot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import (
+    render_branch_table,
+    render_divergence_distribution,
+    render_reuse_histogram,
+)
+from repro.apps import APP_NAMES, TABLE2, build_app
+from repro.backend import lower_module_to_ptx
+from repro.frontend.dsl import compile_kernels
+from repro.gpu.arch import KEPLER_K40C, PASCAL_P100, kepler_with_l1
+from repro.optim.advisor import CUDAAdvisor
+from repro.passes import optimization_pipeline
+
+ARCHES = {"kepler": KEPLER_K40C, "pascal": PASCAL_P100}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CUDAAdvisor reproduction: profile GPU kernels on a "
+        "simulated NVIDIA GPU and derive optimization guidance.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table 2 benchmark suite")
+
+    profile = sub.add_parser("profile", help="run CUDAAdvisor on an app")
+    profile.add_argument("app", choices=APP_NAMES)
+    profile.add_argument("--arch", choices=sorted(ARCHES), default="kepler")
+    profile.add_argument(
+        "--modes", default="memory,blocks",
+        help="comma-separated: memory, blocks, arith",
+    )
+    profile.add_argument(
+        "--no-overhead", action="store_true",
+        help="skip the baseline run (faster; no Figure 10 metric)",
+    )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of text",
+    )
+
+    bypass = sub.add_parser(
+        "bypass", help="evaluate Eq.(1) horizontal bypassing vs the oracle"
+    )
+    bypass.add_argument("app", choices=APP_NAMES)
+    bypass.add_argument("--l1", type=int, default=16, choices=(16, 32, 48),
+                        help="Kepler L1 size in KB")
+
+    ptx = sub.add_parser("ptx", help="dump the PTX for an app's kernels")
+    ptx.add_argument("app", choices=APP_NAMES)
+    ptx.add_argument("--cc", default="3.5", help="compute capability")
+
+    instr = sub.add_parser(
+        "instrument",
+        help="dump an app's instrumented IR (the opt-pass view)",
+    )
+    instr.add_argument("app", choices=APP_NAMES)
+    instr.add_argument("--modes", default="memory",
+                       help="comma-separated: memory, blocks, arith")
+    instr.add_argument("--no-optimize", action="store_true",
+                       help="instrument the -O0 bitcode")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print(f"{'name':<10} {'warps/CTA':>9}  {'paper input':<28} "
+          f"{'our input':<34} source")
+    for info in TABLE2:
+        print(f"{info.name:<10} {info.warps_per_cta:>9}  "
+              f"{info.paper_input:<28} {info.our_input:<34} {info.source}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    advisor = CUDAAdvisor(
+        arch=ARCHES[args.arch],
+        modes=modes,
+        measure_overhead=not args.no_overhead,
+    )
+    report = advisor.profile(build_app(args.app))
+
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if report.reuse_element is not None:
+        print("### RD_mode (reuse distance)")
+        print(render_reuse_histogram(args.app, report.reuse_element))
+        print()
+    if report.memory_divergence is not None:
+        print("### MD_mode (memory divergence)")
+        print(render_divergence_distribution(
+            args.app, report.memory_divergence
+        ))
+        print()
+    if report.branch_divergence is not None:
+        print("### BD_mode (branch divergence)")
+        print(render_branch_table({args.app: report.branch_divergence}))
+        print()
+    if report.overhead is not None:
+        print("### overhead")
+        print(report.overhead.render())
+        print()
+    if len(report.session.profiles) > 1:
+        from repro.analysis.statistics import (
+            aggregate_instances,
+            metric_memory_events,
+        )
+
+        print("### per-call-path statistics (offline analyzer)")
+        for stats in aggregate_instances(
+            report.session.profiles, metric_memory_events
+        ):
+            print(f"  {stats.render()}")
+        print()
+    print("### advice")
+    for tip in report.advice():
+        print(f"  * {tip}")
+    return 0
+
+
+def _cmd_bypass(args) -> int:
+    arch = kepler_with_l1(args.l1)
+    advisor = CUDAAdvisor(arch=arch, modes=("memory",),
+                          measure_overhead=False)
+    app = build_app(args.app)
+    report = advisor.profile(app)
+    prediction = report.bypass_prediction
+    print(f"Eq.(1): raw = {prediction.raw_value:.4f} -> allow "
+          f"{prediction.optimal_warps}/{prediction.warps_per_cta} warps "
+          f"in L1")
+    search, prediction = advisor.evaluate_bypass(app, prediction)
+    for k in sorted(search.cycles_by_warps):
+        marks = []
+        if k == search.best_warps:
+            marks.append("oracle")
+        if k == prediction.optimal_warps:
+            marks.append("predicted")
+        suffix = f"   <- {', '.join(marks)}" if marks else ""
+        print(f"  k={k:<2} norm time = {search.normalized(k):.3f}{suffix}")
+    return 0
+
+
+def _cmd_ptx(args) -> int:
+    app = build_app(args.app)
+    module = compile_kernels(list(app.kernels), args.app)
+    optimization_pipeline().run(module)
+    print(lower_module_to_ptx(module, args.cc))
+    return 0
+
+
+def _cmd_instrument(args) -> int:
+    from repro.ir import print_module
+    from repro.passes import instrumentation_pipeline
+
+    app = build_app(args.app)
+    module = compile_kernels(list(app.kernels), args.app)
+    if not args.no_optimize:
+        optimization_pipeline().run(module)
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    instrumentation_pipeline(modes).run(module)
+    print(print_module(module))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "bypass":
+        return _cmd_bypass(args)
+    if args.command == "ptx":
+        return _cmd_ptx(args)
+    if args.command == "instrument":
+        return _cmd_instrument(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

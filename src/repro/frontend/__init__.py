@@ -1,0 +1,53 @@
+"""The kernel DSL frontend (the reproduction's "Clang/gpucc").
+
+CUDA kernels are written as restricted Python functions and compiled to
+the mini-IR with real source line/column debug information -- the same
+role Clang plays in Figure 2 of the paper (source -> bitcode with
+``!dbg`` metadata), so the instrumentation engine can attribute every
+profiled event to source code.
+
+Example::
+
+    from repro.frontend import kernel, ptr_f32, f32, i32
+
+    @kernel
+    def axpy(x: ptr_f32, y: ptr_f32, a: f32, n: i32):
+        gid = ctaid_x * ntid_x + tid_x
+        if gid < n:
+            y[gid] = a * x[gid] + y[gid]
+
+    module = compile_kernels([axpy], "axpy_module")
+"""
+
+from repro.frontend.typesys import (
+    f32,
+    f64,
+    i8,
+    i32,
+    i64,
+    ptr_f32,
+    ptr_f64,
+    ptr_i8,
+    ptr_i32,
+    ptr_i64,
+)
+from repro.frontend.dsl import KernelSource, compile_kernels, device, kernel
+from repro.frontend.intrinsics import BUILTIN_DOC
+
+__all__ = [
+    "BUILTIN_DOC",
+    "KernelSource",
+    "compile_kernels",
+    "device",
+    "f32",
+    "f64",
+    "i8",
+    "i32",
+    "i64",
+    "kernel",
+    "ptr_f32",
+    "ptr_f64",
+    "ptr_i8",
+    "ptr_i32",
+    "ptr_i64",
+]

@@ -1,0 +1,810 @@
+"""AST-to-IR compiler for the kernel DSL.
+
+A restricted Python subset compiles to the mini-IR the way Clang lowers
+CUDA C to bitcode at ``-O0``: every local scalar becomes an ``alloca``
+in the entry block, reads/writes become local loads/stores (later
+promoted to SSA by the ``mem2reg`` pass), and control flow becomes
+explicit basic blocks. Source line/column numbers from the real Python
+source become :class:`~repro.ir.debuginfo.DebugLoc` on every
+instruction, which is what the instrumentation hooks report.
+
+Supported statements: assignment (plain/augmented/subscript), ``if`` /
+``elif`` / ``else``, ``while``, ``for i in range(...)``, ``break``,
+``continue``, ``return``, expression statements (calls), ``pass``.
+
+Supported expressions: int/float/bool literals, parameters, locals,
+special registers, arithmetic (+ - * // / % and or not << >> & | ^),
+comparisons, unary +/-, subscripts of pointer values, calls to builtins
+and ``@device`` functions, captured module-level int/float constants.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import FrontendError
+from repro.ir.builder import IRBuilder
+from repro.ir.debuginfo import DebugLoc
+from repro.ir.instructions import (
+    AtomicOp,
+    CastKind,
+    CmpPred,
+    Opcode,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import (
+    AddressSpace,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I32,
+    I64,
+    VOID,
+)
+from repro.ir.values import Constant, GlobalVariable, Value
+from repro.frontend.intrinsics import (
+    BARRIER_INTRINSIC,
+    MATH_INTRINSICS,
+    SPECIAL_FUNCTIONS,
+    SPECIAL_REGISTERS,
+)
+from repro.frontend.typesys import ANNOTATION_TYPES
+
+_INT_BINOPS = {
+    ast.Add: Opcode.ADD,
+    ast.Sub: Opcode.SUB,
+    ast.Mult: Opcode.MUL,
+    ast.FloorDiv: Opcode.SDIV,
+    ast.Mod: Opcode.SREM,
+    ast.LShift: Opcode.SHL,
+    ast.RShift: Opcode.ASHR,
+    ast.BitAnd: Opcode.AND,
+    ast.BitOr: Opcode.OR,
+    ast.BitXor: Opcode.XOR,
+}
+_FLOAT_BINOPS = {
+    ast.Add: Opcode.FADD,
+    ast.Sub: Opcode.FSUB,
+    ast.Mult: Opcode.FMUL,
+    ast.Div: Opcode.FDIV,
+    ast.Mod: Opcode.FREM,
+}
+_CMP_PREDS = {
+    ast.Eq: CmpPred.EQ,
+    ast.NotEq: CmpPred.NE,
+    ast.Lt: CmpPred.LT,
+    ast.LtE: CmpPred.LE,
+    ast.Gt: CmpPred.GT,
+    ast.GtE: CmpPred.GE,
+}
+
+
+class _LoopContext:
+    """Targets for break/continue inside one loop."""
+
+    def __init__(self, break_block: BasicBlock, continue_block: BasicBlock):
+        self.break_block = break_block
+        self.continue_block = continue_block
+
+
+class KernelCompiler:
+    """Compiles one DSL function into an IR :class:`Function`."""
+
+    def __init__(
+        self,
+        module: Module,
+        source_ast: ast.FunctionDef,
+        filename: str,
+        line_offset: int,
+        kind: str,
+        globals_ns: Dict[str, object],
+        device_registry: Dict[str, "object"],
+        compile_device: Callable[[object], Function],
+    ):
+        self.module = module
+        self.tree = source_ast
+        self.filename = filename
+        self.line_offset = line_offset
+        self.kind = kind
+        self.globals_ns = globals_ns
+        self.device_registry = device_registry
+        self.compile_device = compile_device
+
+        self.fn: Optional[Function] = None
+        self.builder = IRBuilder()
+        #: local name -> (alloca value, element type)
+        self.locals: Dict[str, Tuple[Value, Type]] = {}
+        #: local name -> pointer-typed Value (arrays: shared/local decls, params)
+        self.pointers: Dict[str, Value] = {}
+        self.loop_stack: List[_LoopContext] = []
+        self._sreg_cache: Dict[str, Value] = {}
+
+    # -- helpers ------------------------------------------------------------
+    def error(self, message: str, node: Optional[ast.AST] = None) -> FrontendError:
+        line = self.line_offset + getattr(node, "lineno", 1) - 1 if node else 0
+        return FrontendError(message, self.filename, line)
+
+    def loc(self, node: ast.AST) -> DebugLoc:
+        return DebugLoc(
+            self.filename,
+            self.line_offset + node.lineno - 1,
+            node.col_offset + 1,
+        )
+
+    def _declare_intrinsic(
+        self, name: str, params: Tuple[Type, ...], ret: Type
+    ) -> Function:
+        return self.module.declare_function(
+            name, ret, [(t, f"a{i}") for i, t in enumerate(params)], kind="intrinsic"
+        )
+
+    # -- entry point -----------------------------------------------------------
+    def compile(self) -> Function:
+        name = self.tree.name
+        params: List[Tuple[Type, str]] = []
+        args = self.tree.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.defaults:
+            raise self.error("kernels take only plain positional parameters")
+        for a in args.args:
+            if a.annotation is None:
+                raise self.error(f"parameter {a.arg!r} needs a type annotation", a)
+            params.append((self._annotation_type(a.annotation), a.arg))
+
+        ret_type = VOID
+        if self.tree.returns is not None and self.kind == "device":
+            ret_type = self._annotation_type(self.tree.returns)
+
+        self.fn = self.module.add_function(name, ret_type, params, kind=self.kind)
+        entry = self.fn.add_block("entry")
+        self.builder.position_at_end(entry)
+
+        # Parameters: scalars get a stack slot (so they are assignable, like
+        # C parameters); pointers stay as direct values.
+        for arg in self.fn.args:
+            if arg.type.is_pointer:
+                self.pointers[arg.name] = arg
+            else:
+                slot = self.builder.alloca(arg.type, 1, f"{arg.name}.addr")
+                self.builder.store(arg, slot)
+                self.locals[arg.name] = (slot, arg.type)
+
+        self._compile_body(self.tree.body)
+
+        # Implicit return at the end of a void function.
+        if self.builder.block.terminator is None:
+            if not ret_type.is_void:
+                raise self.error(
+                    f"device function {name!r} may reach its end without returning"
+                )
+            self.builder.ret()
+        # Terminate any other unterminated blocks (e.g. after `while True`).
+        for block in self.fn.blocks:
+            if block.terminator is None:
+                term_builder = IRBuilder.at_end(block)
+                if ret_type.is_void:
+                    term_builder.ret()
+                else:
+                    raise self.error(
+                        f"device function {name!r} has a path without a return"
+                    )
+        return self.fn
+
+    def _annotation_type(self, node: ast.expr) -> Type:
+        if isinstance(node, ast.Name) and node.id in ANNOTATION_TYPES:
+            return ANNOTATION_TYPES[node.id]
+        raise self.error(
+            "unknown type annotation (use i32/f32/ptr_f32/...)", node
+        )
+
+    # -- statements ----------------------------------------------------------------
+    def _compile_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            if self.builder.block.terminator is not None:
+                # Unreachable code after return/break: drop it, like Clang.
+                break
+            self._compile_stmt(stmt)
+
+    def _compile_stmt(self, stmt: ast.stmt) -> None:
+        self.builder.set_loc(self.loc(stmt))
+        if isinstance(stmt, ast.Assign):
+            self._compile_assign(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._compile_aug_assign(stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._compile_ann_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._compile_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._compile_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._compile_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise self.error("break outside a loop", stmt)
+            self.builder.br(self.loop_stack[-1].break_block)
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise self.error("continue outside a loop", stmt)
+            self.builder.br(self.loop_stack[-1].continue_block)
+        elif isinstance(stmt, ast.Return):
+            self._compile_return(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self._compile_expr_stmt(stmt)
+        elif isinstance(stmt, ast.Pass):
+            pass
+        else:
+            raise self.error(
+                f"unsupported statement {type(stmt).__name__}", stmt
+            )
+
+    def _compile_assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            raise self.error("chained assignment is not supported", stmt)
+        target = stmt.targets[0]
+
+        # Array declarators: x = shared(f32, N) / x = local(f32, N)
+        decl = self._try_array_decl(target, stmt.value)
+        if decl:
+            return
+
+        value = self._compile_expr(stmt.value)
+        self._store_to_target(target, value, stmt)
+
+    def _compile_ann_assign(self, stmt: ast.AnnAssign) -> None:
+        if stmt.value is None:
+            raise self.error("annotated declaration requires an initializer", stmt)
+        if not isinstance(stmt.target, ast.Name):
+            raise self.error("annotated assignment must target a name", stmt)
+        want = self._annotation_type(stmt.annotation)
+        value = self._coerce(self._compile_expr(stmt.value), want, stmt)
+        self._store_to_target(stmt.target, value, stmt)
+
+    def _compile_aug_assign(self, stmt: ast.AugAssign) -> None:
+        load_expr: ast.expr
+        if isinstance(stmt.target, ast.Name):
+            load_expr = ast.copy_location(
+                ast.Name(stmt.target.id, ast.Load()), stmt.target
+            )
+        elif isinstance(stmt.target, ast.Subscript):
+            load_expr = ast.copy_location(
+                ast.Subscript(stmt.target.value, stmt.target.slice, ast.Load()),
+                stmt.target,
+            )
+        else:
+            raise self.error("unsupported augmented-assignment target", stmt)
+        current = self._compile_expr(load_expr)
+        rhs = self._compile_expr(stmt.value)
+        value = self._binop(stmt.op, current, rhs, stmt)
+        self._store_to_target(stmt.target, value, stmt)
+
+    def _store_to_target(self, target: ast.expr, value: Value, stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in self.pointers:
+                raise self.error(f"cannot reassign array/pointer {name!r}", stmt)
+            if name in SPECIAL_REGISTERS:
+                raise self.error(f"cannot assign to builtin {name!r}", stmt)
+            if name not in self.locals:
+                slot = self._entry_alloca(value.type, name)
+                self.locals[name] = (slot, value.type)
+            slot, elem_type = self.locals[name]
+            value = self._coerce(value, elem_type, stmt)
+            self.builder.store(value, slot)
+        elif isinstance(target, ast.Subscript):
+            pointer, elem_type = self._subscript_address(target)
+            value = self._coerce(value, elem_type, stmt)
+            self.builder.store(value, pointer)
+        else:
+            raise self.error(
+                f"unsupported assignment target {type(target).__name__}", stmt
+            )
+
+    def _entry_alloca(self, type_: Type, name: str) -> Value:
+        entry = self.fn.entry
+        saved_block, saved_anchor = self.builder._block, self.builder._anchor
+        # Insert after the existing leading allocas, before real code.
+        first_non_alloca = None
+        for inst in entry.instructions:
+            from repro.ir.instructions import Alloca, Store
+
+            if not isinstance(inst, (Alloca, Store)):
+                first_non_alloca = inst
+                break
+        if first_non_alloca is not None:
+            self.builder.position_before(first_non_alloca)
+        else:
+            self.builder.position_at_end(entry)
+        slot = self.builder.alloca(type_, 1, name)
+        self.builder._block, self.builder._anchor = saved_block, saved_anchor
+        return slot
+
+    def _try_array_decl(self, target: ast.expr, value: ast.expr) -> bool:
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("shared", "local")
+        ):
+            return False
+        if not isinstance(target, ast.Name):
+            raise self.error("array declaration must target a simple name", target)
+        name = target.id
+        if name in self.locals or name in self.pointers:
+            raise self.error(f"redeclaration of {name!r}", target)
+        if len(value.args) != 2:
+            raise self.error(
+                f"{value.func.id}(type, count) takes exactly two arguments", value
+            )
+        elem_type = self._annotation_type(value.args[0])
+        count = self._constant_int(value.args[1])
+        if value.func.id == "shared":
+            gname = f"{self.fn.name}.{name}"
+            var = GlobalVariable(gname, elem_type, count, AddressSpace.SHARED)
+            self.module.add_global(var)
+            self.pointers[name] = var
+        else:
+            slot = self.builder.alloca(elem_type, count, name)
+            self.pointers[name] = slot
+        return True
+
+    def _constant_int(self, node: ast.expr) -> int:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        if isinstance(node, ast.Name):
+            captured = self.globals_ns.get(node.id)
+            if isinstance(captured, int):
+                return captured
+        if isinstance(node, ast.BinOp):
+            left = self._constant_int(node.left)
+            right = self._constant_int(node.right)
+            ops = {
+                ast.Add: lambda a, b: a + b,
+                ast.Sub: lambda a, b: a - b,
+                ast.Mult: lambda a, b: a * b,
+                ast.FloorDiv: lambda a, b: a // b,
+            }
+            fn = ops.get(type(node.op))
+            if fn:
+                return fn(left, right)
+        raise self.error("expected a compile-time integer constant", node)
+
+    def _compile_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            if not self.fn.return_type.is_void:
+                raise self.error("missing return value", stmt)
+            self.builder.ret()
+            return
+        if self.fn.return_type.is_void:
+            raise self.error("kernels cannot return a value", stmt)
+        value = self._coerce(
+            self._compile_expr(stmt.value), self.fn.return_type, stmt
+        )
+        self.builder.ret(value)
+
+    def _compile_expr_stmt(self, stmt: ast.Expr) -> None:
+        node = stmt.value
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return  # docstring
+        if not isinstance(node, ast.Call):
+            raise self.error("expression statements must be calls", stmt)
+        self._compile_call(node, discard_result=True)
+
+    # -- control flow ------------------------------------------------------------
+    def _compile_if(self, stmt: ast.If) -> None:
+        cond = self._truth_value(self._compile_expr(stmt.test), stmt)
+        then_block = self.fn.add_block("if.then")
+        merge_block = self.fn.add_block("if.end")
+        else_block = self.fn.add_block("if.else") if stmt.orelse else merge_block
+
+        self.builder.cond_br(cond, then_block, else_block)
+
+        self.builder.position_at_end(then_block)
+        self._compile_body(stmt.body)
+        if self.builder.block.terminator is None:
+            self.builder.br(merge_block)
+
+        if stmt.orelse:
+            self.builder.position_at_end(else_block)
+            self._compile_body(stmt.orelse)
+            if self.builder.block.terminator is None:
+                self.builder.br(merge_block)
+
+        self.builder.position_at_end(merge_block)
+
+    def _compile_while(self, stmt: ast.While) -> None:
+        if stmt.orelse:
+            raise self.error("while/else is not supported", stmt)
+        header = self.fn.add_block("while.cond")
+        body = self.fn.add_block("while.body")
+        exit_block = self.fn.add_block("while.end")
+
+        self.builder.br(header)
+        self.builder.position_at_end(header)
+        self.builder.set_loc(self.loc(stmt))
+        cond = self._truth_value(self._compile_expr(stmt.test), stmt)
+        self.builder.cond_br(cond, body, exit_block)
+
+        self.loop_stack.append(_LoopContext(exit_block, header))
+        self.builder.position_at_end(body)
+        self._compile_body(stmt.body)
+        if self.builder.block.terminator is None:
+            self.builder.br(header)
+        self.loop_stack.pop()
+
+        self.builder.position_at_end(exit_block)
+
+    def _compile_for(self, stmt: ast.For) -> None:
+        if stmt.orelse:
+            raise self.error("for/else is not supported", stmt)
+        if not (
+            isinstance(stmt.iter, ast.Call)
+            and isinstance(stmt.iter.func, ast.Name)
+            and stmt.iter.func.id == "range"
+        ):
+            raise self.error("for loops must iterate over range(...)", stmt)
+        if not isinstance(stmt.target, ast.Name):
+            raise self.error("for target must be a simple name", stmt)
+
+        rng = stmt.iter.args
+        if len(rng) == 1:
+            start: Value = Constant(I32, 0)
+            stop = self._as_i32(self._compile_expr(rng[0]), stmt)
+            step: Value = Constant(I32, 1)
+        elif len(rng) in (2, 3):
+            start = self._as_i32(self._compile_expr(rng[0]), stmt)
+            stop = self._as_i32(self._compile_expr(rng[1]), stmt)
+            step = (
+                self._as_i32(self._compile_expr(rng[2]), stmt)
+                if len(rng) == 3
+                else Constant(I32, 1)
+            )
+        else:
+            raise self.error("range() takes 1-3 arguments", stmt)
+
+        descending = isinstance(step, Constant) and step.value < 0
+
+        ivar_name = stmt.target.id
+        if ivar_name in self.pointers:
+            raise self.error(f"loop variable shadows array {ivar_name!r}", stmt)
+        if ivar_name not in self.locals:
+            slot = self._entry_alloca(I32, ivar_name)
+            self.locals[ivar_name] = (slot, I32)
+        slot, elem_type = self.locals[ivar_name]
+        if elem_type != I32:
+            raise self.error(f"loop variable {ivar_name!r} must be i32", stmt)
+        self.builder.store(start, slot)
+
+        header = self.fn.add_block("for.cond")
+        body = self.fn.add_block("for.body")
+        latch = self.fn.add_block("for.inc")
+        exit_block = self.fn.add_block("for.end")
+
+        self.builder.br(header)
+        self.builder.position_at_end(header)
+        self.builder.set_loc(self.loc(stmt))
+        ivar = self.builder.load(slot, ivar_name)
+        pred = CmpPred.GT if descending else CmpPred.LT
+        cond = self.builder.icmp(pred, ivar, stop, f"{ivar_name}.cmp")
+        self.builder.cond_br(cond, body, exit_block)
+
+        self.loop_stack.append(_LoopContext(exit_block, latch))
+        self.builder.position_at_end(body)
+        self._compile_body(stmt.body)
+        if self.builder.block.terminator is None:
+            self.builder.br(latch)
+        self.loop_stack.pop()
+
+        self.builder.position_at_end(latch)
+        self.builder.set_loc(self.loc(stmt))
+        ivar2 = self.builder.load(slot, ivar_name)
+        nxt = self.builder.add(ivar2, step, f"{ivar_name}.next")
+        self.builder.store(nxt, slot)
+        self.builder.br(header)
+
+        self.builder.position_at_end(exit_block)
+
+    # -- expressions ----------------------------------------------------------------
+    def _compile_expr(self, node: ast.expr) -> Value:
+        self.builder.set_loc(self.loc(node))
+        if isinstance(node, ast.Constant):
+            return self._constant(node)
+        if isinstance(node, ast.Name):
+            return self._name(node)
+        if isinstance(node, ast.BinOp):
+            lhs = self._compile_expr(node.left)
+            rhs = self._compile_expr(node.right)
+            self.builder.set_loc(self.loc(node))
+            return self._binop(node.op, lhs, rhs, node)
+        if isinstance(node, ast.UnaryOp):
+            return self._unary(node)
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        if isinstance(node, ast.BoolOp):
+            return self._boolop(node)
+        if isinstance(node, ast.Subscript):
+            pointer, _ = self._subscript_address(node)
+            self.builder.set_loc(self.loc(node))
+            return self.builder.load(pointer, "arrayidx")
+        if isinstance(node, ast.Call):
+            result = self._compile_call(node, discard_result=False)
+            if result is None:
+                raise self.error("void call used as a value", node)
+            return result
+        if isinstance(node, ast.IfExp):
+            cond = self._truth_value(self._compile_expr(node.test), node)
+            a = self._compile_expr(node.body)
+            b = self._compile_expr(node.orelse)
+            a, b = self._unify(a, b, node)
+            return self.builder.select(cond, a, b)
+        raise self.error(f"unsupported expression {type(node).__name__}", node)
+
+    def _constant(self, node: ast.Constant) -> Value:
+        v = node.value
+        if isinstance(v, bool):
+            return Constant(BOOL, v)
+        if isinstance(v, int):
+            return Constant(I32, v)
+        if isinstance(v, float):
+            return Constant(F32, v)
+        raise self.error(f"unsupported literal {v!r}", node)
+
+    def _name(self, node: ast.Name) -> Value:
+        name = node.id
+        if name in self.locals:
+            slot, _ = self.locals[name]
+            return self.builder.load(slot, name)
+        if name in self.pointers:
+            return self.pointers[name]
+        if name in SPECIAL_REGISTERS:
+            intrinsic = self._declare_intrinsic(SPECIAL_REGISTERS[name], (), I32)
+            return self.builder.call(intrinsic, [], name)
+        captured = self.globals_ns.get(name)
+        if isinstance(captured, bool):
+            return Constant(BOOL, captured)
+        if isinstance(captured, int):
+            return Constant(I32, captured)
+        if isinstance(captured, float):
+            return Constant(F32, captured)
+        raise self.error(f"unknown name {name!r}", node)
+
+    def _subscript_address(self, node: ast.Subscript) -> Tuple[Value, Type]:
+        base = self._compile_expr(node.value)
+        if not base.type.is_pointer:
+            raise self.error("only pointer values can be indexed", node)
+        index_node = node.slice
+        index = self._as_i32(self._compile_expr(index_node), node)
+        self.builder.set_loc(self.loc(node))
+        pointer = self.builder.gep(base, index, "arrayidx")
+        return pointer, base.type.pointee
+
+    def _binop(self, op: ast.operator, lhs: Value, rhs: Value, node: ast.AST) -> Value:
+        lhs, rhs = self._unify(lhs, rhs, node)
+        if lhs.type.is_float:
+            opcode = _FLOAT_BINOPS.get(type(op))
+            if opcode is None:
+                if isinstance(op, ast.FloorDiv):
+                    raise self.error("use / for float division", node)
+                raise self.error(
+                    f"operator {type(op).__name__} not supported on floats", node
+                )
+            return self.builder.binop(opcode, lhs, rhs)
+        if isinstance(op, ast.Div):
+            # True division promotes ints to f32, as in C with a cast.
+            lf = self.builder.sitofp(lhs, F32)
+            rf = self.builder.sitofp(rhs, F32)
+            return self.builder.binop(Opcode.FDIV, lf, rf)
+        opcode = _INT_BINOPS.get(type(op))
+        if opcode is None:
+            raise self.error(
+                f"operator {type(op).__name__} not supported on integers", node
+            )
+        return self.builder.binop(opcode, lhs, rhs)
+
+    def _unary(self, node: ast.UnaryOp) -> Value:
+        value = self._compile_expr(node.operand)
+        self.builder.set_loc(self.loc(node))
+        if isinstance(node.op, ast.USub):
+            if isinstance(value, Constant):
+                # Fold negated literals so range(..., -1) and friends see
+                # a constant step.
+                return Constant(value.type, -value.value)
+            if value.type.is_float:
+                return self.builder.fsub(Constant(value.type, 0.0), value, "neg")
+            return self.builder.sub(Constant(value.type, 0), value, "neg")
+        if isinstance(node.op, ast.UAdd):
+            return value
+        if isinstance(node.op, ast.Not):
+            cond = self._truth_value(value, node)
+            return self.builder.binop(Opcode.XOR, cond, Constant(BOOL, True), "not")
+        if isinstance(node.op, ast.Invert):
+            if not value.type.is_int:
+                raise self.error("~ requires an integer", node)
+            return self.builder.binop(
+                Opcode.XOR, value, Constant(value.type, -1), "inv"
+            )
+        raise self.error("unsupported unary operator", node)
+
+    def _compare(self, node: ast.Compare) -> Value:
+        if len(node.ops) != 1:
+            raise self.error("chained comparisons are not supported", node)
+        lhs = self._compile_expr(node.left)
+        rhs = self._compile_expr(node.comparators[0])
+        self.builder.set_loc(self.loc(node))
+        lhs, rhs = self._unify(lhs, rhs, node)
+        pred = _CMP_PREDS.get(type(node.ops[0]))
+        if pred is None:
+            raise self.error("unsupported comparison operator", node)
+        if lhs.type.is_float:
+            return self.builder.fcmp(pred, lhs, rhs)
+        return self.builder.icmp(pred, lhs, rhs)
+
+    def _boolop(self, node: ast.BoolOp) -> Value:
+        # Evaluated eagerly (DSL expressions are side-effect free).
+        opcode = Opcode.AND if isinstance(node.op, ast.And) else Opcode.OR
+        result = self._truth_value(self._compile_expr(node.values[0]), node)
+        for operand in node.values[1:]:
+            value = self._truth_value(self._compile_expr(operand), node)
+            self.builder.set_loc(self.loc(node))
+            result = self.builder.binop(opcode, result, value, "bool")
+        return result
+
+    def _compile_call(
+        self, node: ast.Call, discard_result: bool
+    ) -> Optional[Value]:
+        if node.keywords:
+            raise self.error("keyword arguments are not supported", node)
+        if not isinstance(node.func, ast.Name):
+            raise self.error("only direct calls by name are supported", node)
+        name = node.func.id
+        self.builder.set_loc(self.loc(node))
+
+        if name == "syncthreads":
+            barrier = self._declare_intrinsic(BARRIER_INTRINSIC, (), VOID)
+            self.builder.call(barrier, [])
+            return None
+
+        if name in ("shared", "local"):
+            raise self.error(
+                f"{name}() may only appear as `var = {name}(type, count)`", node
+            )
+
+        if name in ("atomic_add", "atomic_max", "atomic_min"):
+            return self._compile_atomic(name, node)
+
+        if name in ("min", "max"):
+            a = self._compile_expr(node.args[0])
+            b = self._compile_expr(node.args[1])
+            a, b = self._unify(a, b, node)
+            self.builder.set_loc(self.loc(node))
+            if a.type.is_float:
+                opcode = Opcode.FMIN if name == "min" else Opcode.FMAX
+            else:
+                opcode = Opcode.SMIN if name == "min" else Opcode.SMAX
+            return self.builder.binop(opcode, a, b, name)
+
+        if name == "int":
+            value = self._compile_expr(node.args[0])
+            if value.type.is_int:
+                return self._as_i32(value, node)
+            return self.builder.fptosi(value, I32)
+
+        if name == "float":
+            value = self._compile_expr(node.args[0])
+            if value.type.is_float:
+                return value
+            return self.builder.sitofp(self._as_i32(value, node), F32)
+
+        if name in MATH_INTRINSICS:
+            symbol, arg_types, ret = MATH_INTRINSICS[name]
+            if len(node.args) != len(arg_types):
+                raise self.error(f"{name} takes {len(arg_types)} argument(s)", node)
+            args = [
+                self._coerce(self._compile_expr(a), t, node)
+                for a, t in zip(node.args, arg_types)
+            ]
+            intrinsic = self._declare_intrinsic(symbol, arg_types, ret)
+            self.builder.set_loc(self.loc(node))
+            return self.builder.call(intrinsic, args, name)
+
+        if name in self.device_registry:
+            callee = self.compile_device(self.device_registry[name])
+            args = []
+            for a, want in zip(node.args, callee.type.params):
+                args.append(self._coerce(self._compile_expr(a), want, node))
+            if len(args) != len(callee.type.params):
+                raise self.error(f"call to {name}: wrong arity", node)
+            self.builder.set_loc(self.loc(node))
+            call = self.builder.call(callee, args, name)
+            return None if callee.return_type.is_void else call
+
+        raise self.error(f"unknown function {name!r}", node)
+
+    def _compile_atomic(self, name: str, node: ast.Call) -> Value:
+        if len(node.args) != 3:
+            raise self.error(f"{name}(array, index, value)", node)
+        base = self._compile_expr(node.args[0])
+        if not base.type.is_pointer:
+            raise self.error(f"{name}: first argument must be an array", node)
+        index = self._as_i32(self._compile_expr(node.args[1]), node)
+        value = self._coerce(
+            self._compile_expr(node.args[2]), base.type.pointee, node
+        )
+        self.builder.set_loc(self.loc(node))
+        pointer = self.builder.gep(base, index, "atomidx")
+        op = {
+            "atomic_add": AtomicOp.ADD,
+            "atomic_max": AtomicOp.MAX,
+            "atomic_min": AtomicOp.MIN,
+        }[name]
+        return self.builder.atomic_rmw(op, pointer, value)
+
+    # -- conversions -------------------------------------------------------------------
+    def _truth_value(self, value: Value, node: ast.AST) -> Value:
+        if value.type == BOOL:
+            return value
+        if value.type.is_int:
+            return self.builder.icmp(
+                CmpPred.NE, value, Constant(value.type, 0), "tobool"
+            )
+        if value.type.is_float:
+            return self.builder.fcmp(
+                CmpPred.NE, value, Constant(value.type, 0.0), "tobool"
+            )
+        raise self.error(f"cannot use {value.type} as a condition", node)
+
+    def _as_i32(self, value: Value, node: ast.AST) -> Value:
+        if value.type == I32:
+            return value
+        if value.type == BOOL or (value.type.is_int and value.type.bits < 32):
+            return self.builder.zext(value, I32)
+        if value.type == I64:
+            return self.builder.trunc(value, I32)
+        if value.type.is_float:
+            raise self.error("expected an integer, got a float", node)
+        raise self.error(f"cannot convert {value.type} to i32", node)
+
+    def _coerce(self, value: Value, want: Type, node: ast.AST) -> Value:
+        have = value.type
+        if have == want:
+            return value
+        if want.is_float and have.is_int:
+            src = value if have == I32 else self._as_i32(value, node)
+            return self.builder.sitofp(src, want)
+        if want.is_float and have.is_float:
+            kind = CastKind.FPEXT if want.size_bits() > have.size_bits() else CastKind.FPTRUNC
+            return self.builder.cast(kind, value, want)
+        if want.is_int and have.is_int:
+            if want.bits > have.bits:
+                # Widen bools with zext, signed ints with sext.
+                kind = CastKind.ZEXT if have == BOOL else CastKind.SEXT
+                return self.builder.cast(kind, value, want)
+            return self.builder.trunc(value, want)
+        if want.is_int and have.is_float:
+            raise self.error(
+                f"implicit float-to-int narrowing; use int(...) explicitly", node
+            )
+        raise self.error(f"cannot convert {have} to {want}", node)
+
+    def _unify(self, a: Value, b: Value, node: ast.AST) -> Tuple[Value, Value]:
+        """Usual arithmetic conversions: int+float -> float, widen ints."""
+        if a.type == b.type:
+            return a, b
+        if a.type.is_pointer or b.type.is_pointer:
+            raise self.error("pointer arithmetic must go through indexing", node)
+        if a.type.is_float and b.type.is_int:
+            return a, self._coerce(b, a.type, node)
+        if a.type.is_int and b.type.is_float:
+            return self._coerce(a, b.type, node), b
+        if a.type.is_float and b.type.is_float:
+            wide = a.type if a.type.size_bits() >= b.type.size_bits() else b.type
+            return self._coerce(a, wide, node), self._coerce(b, wide, node)
+        # both ints
+        wide = a.type if a.type.bits >= b.type.bits else b.type
+        if wide == BOOL:
+            wide = I32
+        return self._coerce(a, wide, node), self._coerce(b, wide, node)

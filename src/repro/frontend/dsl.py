@@ -1,0 +1,114 @@
+"""The ``@kernel`` / ``@device`` decorators and module assembly.
+
+A :class:`KernelSource` wraps the original Python function plus its
+parsed AST and source coordinates. :func:`compile_kernels` assembles one
+device module from a set of kernels (plus every ``@device`` function
+they reference), runs the verifier, and returns the module -- the
+"Clang -> device bitcode" step of Figure 2.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import FrontendError
+from repro.ir.module import Function, Module
+from repro.ir.verifier import verify_module
+from repro.frontend.compiler import KernelCompiler
+
+#: global registry of @device functions, keyed by name (like a linker
+#: symbol table: kernels reference device functions by name).
+_DEVICE_REGISTRY: Dict[str, "KernelSource"] = {}
+
+
+class KernelSource:
+    """A DSL function captured for compilation."""
+
+    def __init__(self, py_func, kind: str):
+        self.py_func = py_func
+        self.kind = kind
+        self.name = py_func.__name__
+
+        try:
+            source = inspect.getsource(py_func)
+            _, start_line = inspect.getsourcelines(py_func)
+            filename = inspect.getsourcefile(py_func) or "<string>"
+        except (OSError, TypeError) as exc:  # pragma: no cover - exotic envs
+            raise FrontendError(
+                f"cannot retrieve source of {self.name}: {exc}"
+            ) from exc
+        source = textwrap.dedent(source)
+        tree = ast.parse(source)
+        fdef = tree.body[0]
+        if not isinstance(fdef, ast.FunctionDef):
+            raise FrontendError(f"{self.name} is not a plain function")
+        # Strip our own decorators from the AST (they are host-side only).
+        fdef.decorator_list = []
+        self.tree = fdef
+        self.filename = filename.rsplit("/", 1)[-1]
+        self.line_offset = start_line
+        self.globals_ns = py_func.__globals__
+
+    def __call__(self, *args, **kwargs):
+        raise FrontendError(
+            f"{self.kind} function {self.name!r} cannot be called from Python; "
+            f"compile it with compile_kernels() and launch it on a Device"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{self.kind} {self.name} from {self.filename}:{self.line_offset}>"
+
+
+def kernel(py_func) -> KernelSource:
+    """Mark a function as a ``__global__`` CUDA kernel."""
+    return KernelSource(py_func, "kernel")
+
+
+def device(py_func) -> KernelSource:
+    """Mark a function as a ``__device__`` helper callable from kernels."""
+    src = KernelSource(py_func, "device")
+    _DEVICE_REGISTRY[src.name] = src
+    return src
+
+
+def compile_kernels(
+    kernels: Sequence[KernelSource],
+    module_name: str = "device",
+    verify: bool = True,
+) -> Module:
+    """Compile kernels (and referenced ``@device`` functions) to a module."""
+    module = Module(module_name, target="nvptx")
+    compiled: Dict[str, Function] = {}
+
+    def compile_source(src: KernelSource) -> Function:
+        if src.name in compiled:
+            return compiled[src.name]
+        compiler = KernelCompiler(
+            module=module,
+            source_ast=src.tree,
+            filename=src.filename,
+            line_offset=src.line_offset,
+            kind=src.kind,
+            globals_ns=src.globals_ns,
+            device_registry=_DEVICE_REGISTRY,
+            compile_device=compile_source,
+        )
+        fn = compiler.compile()
+        compiled[src.name] = fn
+        return fn
+
+    for src in kernels:
+        if not isinstance(src, KernelSource):
+            raise FrontendError(
+                f"compile_kernels expects @kernel functions, got {src!r}"
+            )
+        if src.kind != "kernel":
+            raise FrontendError(f"{src.name} is @device; pass @kernel functions")
+        compile_source(src)
+
+    if verify:
+        verify_module(module)
+    return module

@@ -1,0 +1,85 @@
+"""Built-in names available inside kernel bodies.
+
+Two kinds:
+
+* **special registers** -- ``tid_x``, ``ctaid_y``, ``ntid_x``,
+  ``nctaid_z``, ``warpsize``: read-only values the compiler lowers to
+  calls to ``nvvm.*`` intrinsic declarations (the analogue of
+  ``llvm.nvvm.read.ptx.sreg.*``).
+* **functions** -- math (``sqrtf``...), ``syncthreads``, atomics, and the
+  ``shared``/``local`` array declarators handled specially by the
+  compiler.
+
+The interpreter recognises intrinsic functions by name (see
+:mod:`repro.gpu.interpreter`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.ir.types import Type, F32, F64, I32, VOID
+
+#: special-register name -> intrinsic function name
+SPECIAL_REGISTERS: Dict[str, str] = {
+    "tid_x": "nvvm.tid.x",
+    "tid_y": "nvvm.tid.y",
+    "tid_z": "nvvm.tid.z",
+    "ctaid_x": "nvvm.ctaid.x",
+    "ctaid_y": "nvvm.ctaid.y",
+    "ctaid_z": "nvvm.ctaid.z",
+    "ntid_x": "nvvm.ntid.x",
+    "ntid_y": "nvvm.ntid.y",
+    "ntid_z": "nvvm.ntid.z",
+    "nctaid_x": "nvvm.nctaid.x",
+    "nctaid_y": "nvvm.nctaid.y",
+    "nctaid_z": "nvvm.nctaid.z",
+    "warpsize": "nvvm.warpsize",
+    "laneid": "nvvm.laneid",
+    "warpid": "nvvm.warpid",
+}
+
+#: math intrinsic name -> (intrinsic symbol, arg types, return type)
+MATH_INTRINSICS: Dict[str, Tuple[str, Tuple[Type, ...], Type]] = {
+    "sqrtf": ("nv.sqrt.f32", (F32,), F32),
+    "expf": ("nv.exp.f32", (F32,), F32),
+    "logf": ("nv.log.f32", (F32,), F32),
+    "fabsf": ("nv.fabs.f32", (F32,), F32),
+    "floorf": ("nv.floor.f32", (F32,), F32),
+    "powf": ("nv.pow.f32", (F32, F32), F32),
+    "fminf": ("nv.fmin.f32", (F32, F32), F32),
+    "fmaxf": ("nv.fmax.f32", (F32, F32), F32),
+    "sqrt": ("nv.sqrt.f64", (F64,), F64),
+    "exp": ("nv.exp.f64", (F64,), F64),
+    "fabs": ("nv.fabs.f64", (F64,), F64),
+}
+
+#: names handled with dedicated compiler logic
+SPECIAL_FUNCTIONS = frozenset(
+    {
+        "syncthreads",
+        "shared",
+        "local",
+        "atomic_add",
+        "atomic_max",
+        "atomic_min",
+        "min",
+        "max",
+        "int",
+        "float",
+        "range",  # only as a `for` iterator
+    }
+)
+
+BARRIER_INTRINSIC = "nvvm.barrier0"
+
+BUILTIN_DOC = """Kernel-body builtins:
+  tid_x/y/z, ctaid_x/y/z, ntid_x/y/z, nctaid_x/y/z  -- thread/CTA indices
+  warpsize, laneid, warpid                          -- warp geometry
+  syncthreads()                                     -- CTA barrier
+  shared(f32, N), local(f32, N)                     -- array declarators
+  atomic_add/max/min(arr, idx, value)               -- global atomics
+  sqrtf, expf, logf, fabsf, floorf, powf, fminf, fmaxf
+  min(a, b), max(a, b)                              -- integer min/max
+  int(x), float(x)                                  -- conversions
+"""

@@ -1,0 +1,39 @@
+"""Type annotations usable in kernel signatures.
+
+These are plain :mod:`repro.ir.types` instances with DSL-friendly names,
+so a kernel signature reads like a CUDA prototype:
+
+    def hotspot(power: ptr_f32, temp_src: ptr_f32, n: i32, step: f32): ...
+"""
+
+from __future__ import annotations
+
+from repro.ir.types import AddressSpace, PointerType, F32, F64, I8, I32, I64, ptr
+
+# Scalar parameter types
+i8 = I8
+i32 = I32
+i64 = I64
+f32 = F32
+f64 = F64
+
+# Global-memory pointer parameter types (device pointers)
+ptr_i8 = ptr(I8, AddressSpace.GLOBAL)
+ptr_i32 = ptr(I32, AddressSpace.GLOBAL)
+ptr_i64 = ptr(I64, AddressSpace.GLOBAL)
+ptr_f32 = ptr(F32, AddressSpace.GLOBAL)
+ptr_f64 = ptr(F64, AddressSpace.GLOBAL)
+
+#: Annotation name -> IR type, used by the compiler to resolve signatures.
+ANNOTATION_TYPES = {
+    "i8": i8,
+    "i32": i32,
+    "i64": i64,
+    "f32": f32,
+    "f64": f64,
+    "ptr_i8": ptr_i8,
+    "ptr_i32": ptr_i32,
+    "ptr_i64": ptr_i64,
+    "ptr_f32": ptr_f32,
+    "ptr_f64": ptr_f64,
+}

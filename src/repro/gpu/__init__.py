@@ -1,0 +1,33 @@
+"""A SIMT GPU execution engine (the reproduction's "real hardware").
+
+Executes device IR modules the way an NVIDIA GPU executes SASS: 32-lane
+warps in lock-step with an immediate-post-dominator reconvergence stack,
+CTAs scheduled onto SMs, a coalescing unit in front of a set-associative
+write-evict L1, and a cycle cost model. Every profiled quantity in the
+paper (effective addresses, cache lines per access, divergence events)
+is produced by these mechanisms, so the instrumentation-based profiler
+measures the same things it measures on hardware.
+"""
+
+from repro.gpu.arch import (
+    GPUArchitecture,
+    KEPLER_K40C,
+    PASCAL_P100,
+    kepler_with_l1,
+)
+from repro.gpu.device import Device, DevicePointer, LaunchResult
+from repro.gpu.cache import CacheStats, SetAssociativeCache
+from repro.gpu.coalescing import coalesce
+
+__all__ = [
+    "CacheStats",
+    "Device",
+    "DevicePointer",
+    "GPUArchitecture",
+    "KEPLER_K40C",
+    "LaunchResult",
+    "PASCAL_P100",
+    "SetAssociativeCache",
+    "coalesce",
+    "kepler_with_l1",
+]

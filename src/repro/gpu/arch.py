@@ -1,0 +1,101 @@
+"""GPU architecture descriptors (Table 1 of the paper).
+
+Two platforms are modelled, matching the paper's evaluation table:
+
+* **Kepler / Tesla K40c** -- CC 3.5, CUDA 7.0: L1 shares on-chip storage
+  with shared memory, configurable 16/32/48 KB, 128-byte cache lines.
+* **Pascal / Tesla P100** -- CC 6.0, CUDA 8.0: 24 KB unified L1/Texture
+  cache with 32-byte sectors (cache lines, for divergence accounting).
+
+SM counts are the real parts' (15 and 56); latency parameters are
+round-number textbook values -- the analyses depend on the structural
+parameters (line size, capacity, associativity), not the exact latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GPUArchitecture:
+    """Static description of a simulated GPU."""
+
+    name: str
+    chip: str
+    compute_capability: str
+    cuda_version: str
+    driver_version: str
+    num_sms: int
+    warp_size: int
+    max_ctas_per_sm: int
+    max_threads_per_cta: int
+    shared_mem_per_sm: int
+    # L1 data cache (per SM on Kepler; per TPC on Pascal, modelled per SM)
+    l1_size: int
+    l1_line_size: int
+    l1_assoc: int
+    l1_write_allocate: bool  # GPUs: False (write-evict / write-no-allocate)
+    mshr_entries: int
+    # Timing model parameters (cycles)
+    issue_cycles: int = 1
+    l1_hit_latency: int = 30
+    l2_latency: int = 190
+    dram_latency: int = 350
+    # How much of memory latency co-resident warps hide, per extra warp.
+    latency_hiding_per_warp: float = 0.9
+
+    @property
+    def l1_num_lines(self) -> int:
+        return self.l1_size // self.l1_line_size
+
+    @property
+    def l1_num_sets(self) -> int:
+        return max(1, self.l1_num_lines // self.l1_assoc)
+
+    def with_l1_size(self, size: int) -> "GPUArchitecture":
+        return replace(self, l1_size=size)
+
+
+KEPLER_K40C = GPUArchitecture(
+    name="Kepler",
+    chip="Tesla K40c",
+    compute_capability="3.5",
+    cuda_version="7.0",
+    driver_version="361.93",
+    num_sms=15,
+    warp_size=32,
+    max_ctas_per_sm=16,
+    max_threads_per_cta=1024,
+    shared_mem_per_sm=48 * 1024,
+    l1_size=16 * 1024,  # 16/48 KB split with shared memory; 16 KB default
+    l1_line_size=128,
+    l1_assoc=4,
+    l1_write_allocate=False,
+    mshr_entries=32,
+)
+
+PASCAL_P100 = GPUArchitecture(
+    name="Pascal",
+    chip="Tesla P100",
+    compute_capability="6.0",
+    cuda_version="8.0",
+    driver_version="375.20",
+    num_sms=56,
+    warp_size=32,
+    max_ctas_per_sm=32,
+    max_threads_per_cta=1024,
+    shared_mem_per_sm=64 * 1024,
+    l1_size=24 * 1024,  # 24 KB unified L1/Texture cache
+    l1_line_size=32,  # 32-byte sectors (the paper's Pascal line size)
+    l1_assoc=6,
+    l1_write_allocate=False,
+    mshr_entries=32,
+)
+
+
+def kepler_with_l1(size_kb: int) -> GPUArchitecture:
+    """Kepler with one of its configurable L1 sizes (16, 32 or 48 KB)."""
+    if size_kb not in (16, 32, 48):
+        raise ValueError("Kepler L1 must be 16, 32 or 48 KB")
+    return KEPLER_K40C.with_l1_size(size_kb * 1024)

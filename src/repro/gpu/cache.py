@@ -1,0 +1,161 @@
+"""A set-associative L1 data-cache model with GPU write semantics.
+
+NVIDIA L1 data caches are *write-evict / write-no-allocate* (the paper
+leans on this to motivate its restart-on-write reuse-distance variant):
+
+* a **write hit** evicts (invalidates) the line rather than updating it;
+* a **write miss** does not allocate.
+
+Reads allocate on miss with LRU replacement. A per-SM :class:`MSHRFile`
+tracks outstanding misses for the timing model's congestion estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CacheStats:
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0  # write-evict events
+    write_misses: int = 0
+    bypassed: int = 0
+    evictions: int = 0
+
+    @property
+    def reads(self) -> int:
+        return self.read_hits + self.read_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.write_hits + self.write_misses
+
+    @property
+    def read_hit_rate(self) -> float:
+        return self.read_hits / self.reads if self.reads else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.read_hits += other.read_hits
+        self.read_misses += other.read_misses
+        self.write_hits += other.write_hits
+        self.write_misses += other.write_misses
+        self.bypassed += other.bypassed
+        self.evictions += other.evictions
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over line addresses.
+
+    ``access`` takes a *line address* (byte address // line size is done
+    by the coalescer) and returns ``True`` on hit.
+    """
+
+    def __init__(self, size: int, line_size: int, assoc: int):
+        if size % line_size:
+            raise ValueError("cache size must be a multiple of the line size")
+        self.size = size
+        self.line_size = line_size
+        num_lines = size // line_size
+        self.assoc = min(assoc, num_lines)
+        self.num_sets = max(1, num_lines // self.assoc)
+        # Per set: list of line tags in LRU order (front = LRU, back = MRU).
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+        self._tick = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr % self.num_sets
+
+    def read(self, line_addr: int, bypass: bool = False) -> bool:
+        """A read transaction; returns hit?"""
+        if bypass:
+            self.stats.bypassed += 1
+            return False
+        ways = self._sets[self._set_index(line_addr)]
+        if line_addr in ways:
+            ways.remove(line_addr)
+            ways.append(line_addr)
+            self.stats.read_hits += 1
+            return True
+        self.stats.read_misses += 1
+        ways.append(line_addr)
+        if len(ways) > self.assoc:
+            ways.pop(0)
+            self.stats.evictions += 1
+        return False
+
+    def write(self, line_addr: int, bypass: bool = False) -> bool:
+        """A write transaction (write-evict / no-allocate); returns hit?"""
+        if bypass:
+            self.stats.bypassed += 1
+            return False
+        ways = self._sets[self._set_index(line_addr)]
+        if line_addr in ways:
+            ways.remove(line_addr)  # write-evict
+            self.stats.write_hits += 1
+            return True
+        self.stats.write_misses += 1
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+
+class MSHRFile:
+    """Miss-status holding registers: time-based outstanding-miss tracking.
+
+    Each miss occupies an entry until its fill returns (``latency``
+    cycles later on the SM's clock); a burst of divergent misses that
+    exceeds the file causes *allocation failures*, which the paper
+    (citing Li et al. [32]) identifies as a key L1 bottleneck and the
+    mechanism horizontal bypassing relieves. Requests to an
+    already-outstanding line merge for free.
+    """
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self._ready_at: Dict[int, float] = {}  # line -> fill-complete time
+        self.allocation_failures = 0
+        self.merges = 0
+        self.requests = 0
+
+    def request(self, line_addr: int, now: float, latency: float) -> bool:
+        """Register a miss at SM time ``now``; False on allocation failure."""
+        self.requests += 1
+        if line_addr in self._ready_at:
+            if self._ready_at[line_addr] > now:
+                self.merges += 1
+                return True
+            del self._ready_at[line_addr]
+        self._retire(now)
+        if len(self._ready_at) >= self.entries:
+            self.allocation_failures += 1
+            return False
+        self._ready_at[line_addr] = now + latency
+        return True
+
+    def _retire(self, now: float) -> None:
+        if len(self._ready_at) < self.entries:
+            return
+        done = [line for line, t in self._ready_at.items() if t <= now]
+        for line in done:
+            del self._ready_at[line]
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._ready_at)
+
+    @property
+    def failure_rate(self) -> float:
+        return self.allocation_failures / self.requests if self.requests else 0.0

@@ -1,0 +1,162 @@
+"""SIMT warp state: reconvergence stacks, call frames, warp status.
+
+Divergence is handled with the classic immediate-post-dominator
+reconvergence stack (the mechanism NVIDIA hardware implements): a warp
+executes the top :class:`StackEntry`; a divergent branch at block ``B``
+with ipostdom ``R`` retargets the current entry to ``R`` (it waits there
+with the union mask) and pushes one entry per taken path with the split
+masks; an entry is popped when it reaches its reconvergence block. The
+branch-divergence analysis of the paper (Table 3) counts exactly these
+divergence events via instrumented basic-block hooks.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.gpu.memory import LocalMemory
+from repro.ir.module import BasicBlock, Function
+
+
+class WarpStatus(enum.Enum):
+    READY = "ready"
+    AT_BARRIER = "at_barrier"
+    DONE = "done"
+
+
+class StackEntry:
+    """One reconvergence-stack entry: where to execute, under which mask."""
+
+    __slots__ = ("block", "index", "reconv", "mask", "came_from")
+
+    def __init__(
+        self,
+        block: BasicBlock,
+        index: int,
+        reconv: Optional[BasicBlock],
+        mask: np.ndarray,
+    ):
+        self.block = block
+        self.index = index
+        self.reconv = reconv
+        self.mask = mask
+        self.came_from: Optional[BasicBlock] = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<StackEntry {self.block.name}@{self.index} "
+            f"reconv={self.reconv.name if self.reconv else None} "
+            f"mask={int(self.mask.sum())}>"
+        )
+
+
+class Frame:
+    """One function activation of a warp."""
+
+    __slots__ = (
+        "function",
+        "regs",
+        "stack",
+        "sp",
+        "base_sp",
+        "call_inst",
+        "returned_mask",
+        "ret_values",
+    )
+
+    def __init__(self, function: Function, mask: np.ndarray, sp: int, call_inst=None):
+        self.function = function
+        self.regs: Dict[int, np.ndarray] = {}
+        self.stack: List[StackEntry] = [
+            StackEntry(function.entry, 0, None, mask.copy())
+        ]
+        self.sp = sp  # local-memory stack pointer (byte offset)
+        self.base_sp = sp
+        self.call_inst = call_inst  # instruction in the caller to define
+        self.returned_mask = np.zeros_like(mask)
+        self.ret_values: Optional[np.ndarray] = None
+
+    @property
+    def top(self) -> StackEntry:
+        return self.stack[-1]
+
+
+class Warp:
+    """A 32-lane warp plus its execution state."""
+
+    def __init__(
+        self,
+        warp_size: int,
+        global_warp_id: int,
+        warp_in_cta: int,
+        cta_id: Tuple[int, int, int],
+        cta_linear: int,
+        block_dim: Tuple[int, int, int],
+        grid_dim: Tuple[int, int, int],
+        first_thread: int,
+    ):
+        self.warp_size = warp_size
+        self.global_warp_id = global_warp_id
+        self.warp_in_cta = warp_in_cta
+        self.cta_id = cta_id
+        self.cta_linear = cta_linear
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+
+        bx, by, bz = block_dim
+        threads_per_cta = bx * by * bz
+        linear = first_thread + np.arange(warp_size)
+        self.resident_mask = linear < threads_per_cta
+        linear = np.minimum(linear, threads_per_cta - 1)
+        self.tid_x = (linear % bx).astype(np.int32)
+        self.tid_y = ((linear // bx) % by).astype(np.int32)
+        self.tid_z = (linear // (bx * by)).astype(np.int32)
+        self.linear_tid = linear.astype(np.int32)
+
+        self.frames: List[Frame] = []
+        self.status = WarpStatus.READY
+        self.local_mem: Optional[LocalMemory] = None  # set by the SM
+        self.instructions_executed = 0
+        self.branch_count = 0
+        self.divergent_branch_count = 0
+
+    # -- frame / stack plumbing ---------------------------------------------
+    def push_frame(self, function: Function, mask: np.ndarray, call_inst=None) -> Frame:
+        sp = self.frames[-1].sp if self.frames else 0
+        frame = Frame(function, mask, sp, call_inst)
+        self.frames.append(frame)
+        return frame
+
+    @property
+    def current_frame(self) -> Frame:
+        return self.frames[-1]
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        if not self.frames:
+            return np.zeros(self.warp_size, dtype=bool)
+        frame = self.current_frame
+        return frame.top.mask & ~frame.returned_mask
+
+    @property
+    def done(self) -> bool:
+        return self.status == WarpStatus.DONE
+
+    def retire_lanes(self, mask: np.ndarray) -> None:
+        """Lanes in ``mask`` executed ``ret``: strip them from every entry."""
+        frame = self.current_frame
+        frame.returned_mask |= mask
+        for entry in frame.stack:
+            entry.mask = entry.mask & ~mask
+        while frame.stack and not frame.stack[-1].mask.any():
+            frame.stack.pop()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Warp {self.global_warp_id} cta={self.cta_linear} "
+            f"w{self.warp_in_cta} {self.status.value}>"
+        )

@@ -1,0 +1,85 @@
+"""Per-SM cycle cost model.
+
+A simple additive in-order model with a latency-hiding factor: enough to
+rank configurations (baseline vs. bypassing variants, instrumented vs.
+uninstrumented), which is all the paper's Figures 6, 7 and 10 need.
+Absolute cycle counts are not calibrated against real silicon.
+
+Cost sources:
+
+* every issued warp instruction: ``issue_cycles``
+* global-memory transactions: L1 hit / miss (or bypass straight to L2)
+  latency divided by a latency-hiding factor that grows with co-resident
+  warps (the reason GPUs tolerate misses at all)
+* MSHR allocation failures: an extra congestion stall
+* shared-memory access: small constant
+* instrumentation hooks: a call constant plus per-active-lane cost plus
+  an atomic-serialization term -- the paper's three overhead sources
+  (Section 5: atomics, hook calls, global-memory trace buffer)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.arch import GPUArchitecture
+
+
+@dataclass
+class TimingParams:
+    """Tunable constants of the cost model (architecture-independent)."""
+
+    shared_access_cycles: int = 2
+    atomic_cycles_per_lane: int = 8
+    mshr_fail_stall: int = 24
+    # Instrumentation-hook costs (Section 5 of the paper):
+    hook_call_cycles: int = 24  # function-call overhead
+    hook_lane_cycles: int = 6  # per-lane trace-record formatting
+    hook_atomic_cycles: int = 10  # atomic buffer-pointer bump, serialized
+    max_latency_hiding: float = 20.0
+
+
+class SMTimingModel:
+    """Accumulates cycles for one SM."""
+
+    def __init__(self, arch: GPUArchitecture, params: TimingParams = None):
+        self.arch = arch
+        self.params = params or TimingParams()
+        self.cycles = 0.0
+        self._hide = 1.0
+
+    def set_resident_warps(self, warps: int) -> None:
+        """Update the latency-hiding factor for the current occupancy."""
+        hide = 1.0 + self.arch.latency_hiding_per_warp * max(0, warps - 1)
+        self._hide = min(hide, self.params.max_latency_hiding)
+
+    # -- cost events -----------------------------------------------------------
+    def issue(self) -> None:
+        self.cycles += self.arch.issue_cycles
+
+    def global_transactions(self, hits: int, misses: int, bypasses: int) -> None:
+        # L1 misses and L1-bypassing (.cg) accesses both hit L2; the
+        # difference between the two paths is the L1 hits the cached path
+        # earns and the MSHR allocation-failure stalls it risks.
+        self.cycles += hits * (self.arch.l1_hit_latency / self._hide)
+        self.cycles += (misses + bypasses) * (self.arch.l2_latency / self._hide)
+
+    def mshr_failure(self, count: int = 1) -> None:
+        self.cycles += count * self.params.mshr_fail_stall
+
+    def shared_access(self, bank_conflict_degree: int = 1) -> None:
+        """An N-way bank conflict replays the access N times."""
+        self.cycles += self.params.shared_access_cycles * max(
+            1, bank_conflict_degree
+        )
+
+    def atomic(self, lanes: int) -> None:
+        self.cycles += lanes * self.params.atomic_cycles_per_lane
+
+    def hook_call(self, lanes: int) -> None:
+        p = self.params
+        self.cycles += (
+            p.hook_call_cycles
+            + lanes * p.hook_lane_cycles
+            + lanes * p.hook_atomic_cycles
+        )

@@ -1,0 +1,28 @@
+"""Host-side (CPU) runtime.
+
+The paper's engine instruments the *host* bitcode too: CPU function
+calls/returns (shadow stack), ``malloc``-family allocations, and the
+CUDA API (``cudaMalloc``, ``cudaMemcpy``, kernel launches). Here the
+host program is Python, so the same coverage comes from:
+
+* :func:`host_function` -- a decorator standing in for the mandatory
+  CPU call/return instrumentation; it maintains the host shadow stack;
+* :class:`HostAllocator` -- the ``malloc`` interposition (host buffers
+  are numpy arrays tracked with their allocation call paths);
+* :class:`CudaRuntime` -- ``cuda_malloc`` / ``cuda_memcpy`` /
+  ``launch_kernel`` with full event reporting to an attached profiler.
+"""
+
+from repro.host.shadow_stack import HostFrame, HostShadowStack, host_function
+from repro.host.allocator import HostAllocator, HostBuffer
+from repro.host.runtime import CudaRuntime, MemcpyKind
+
+__all__ = [
+    "CudaRuntime",
+    "HostAllocator",
+    "HostBuffer",
+    "HostFrame",
+    "HostShadowStack",
+    "MemcpyKind",
+    "host_function",
+]

@@ -1,0 +1,89 @@
+"""Host-side ``malloc`` interposition.
+
+The profiler's data-centric map needs, for every host data object, its
+allocation call path and memory range (Section 3.2.2). Host buffers are
+numpy arrays wrapped in :class:`HostBuffer`; :class:`HostAllocator`
+hands them out with synthetic host addresses and records the shadow
+stack at allocation time -- the equivalent of interposing the
+``malloc`` family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MemoryError_
+from repro.host.shadow_stack import GLOBAL_HOST_STACK, HostFrame
+
+#: Synthetic host addresses live far from device addresses for clarity.
+HOST_BASE = 0x7F00_0000_0000
+
+
+@dataclass
+class HostBuffer:
+    """A tracked host allocation."""
+
+    name: str
+    addr: int
+    array: np.ndarray
+    call_path: Tuple[HostFrame, ...]
+    site: str  # "file: line" of the allocation call site
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<HostBuffer {self.name} {self.addr:#x} ({self.nbytes}B)>"
+
+
+class HostAllocator:
+    """Tracks host allocations the way interposed malloc does."""
+
+    def __init__(self):
+        self._next = HOST_BASE
+        self.buffers: List[HostBuffer] = []
+
+    def malloc(
+        self, shape, dtype, name: str = "", site: str = ""
+    ) -> HostBuffer:
+        """Allocate a host array, recording the allocation call path."""
+        array = np.zeros(shape, dtype=dtype)
+        addr = self._next
+        self._next += (array.nbytes + 255) // 256 * 256
+        buf = HostBuffer(
+            name=name or f"host_{len(self.buffers)}",
+            addr=addr,
+            array=array,
+            call_path=GLOBAL_HOST_STACK.snapshot(),
+            site=site,
+        )
+        self.buffers.append(buf)
+        return buf
+
+    def wrap(self, array: np.ndarray, name: str = "", site: str = "") -> HostBuffer:
+        """Adopt an existing array (the malloc happened elsewhere)."""
+        addr = self._next
+        self._next += (array.nbytes + 255) // 256 * 256
+        buf = HostBuffer(
+            name=name or f"host_{len(self.buffers)}",
+            addr=addr,
+            array=array,
+            call_path=GLOBAL_HOST_STACK.snapshot(),
+            site=site,
+        )
+        self.buffers.append(buf)
+        return buf
+
+    def find(self, addr: int) -> Optional[HostBuffer]:
+        for buf in self.buffers:
+            if buf.addr <= addr < buf.end:
+                return buf
+        return None

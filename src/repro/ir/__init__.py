@@ -1,0 +1,110 @@
+"""A miniature LLVM-like intermediate representation.
+
+This package is the reproduction's stand-in for LLVM bitcode: the
+CUDAAdvisor instrumentation engine (``repro.passes``) rewrites programs
+expressed in this IR exactly the way the paper's LLVM pass rewrites
+bitcode (Listings 1-4 of the paper).
+
+Structure mirrors LLVM:
+
+* :mod:`repro.ir.types`       -- the type system (int/float/pointer/void)
+* :mod:`repro.ir.values`      -- values: constants, arguments, globals
+* :mod:`repro.ir.instructions`-- the instruction set
+* :mod:`repro.ir.module`      -- Module / Function / BasicBlock containers
+* :mod:`repro.ir.builder`     -- an ``IRBuilder`` insertion helper
+* :mod:`repro.ir.debuginfo`   -- source locations (``!dbg`` metadata)
+* :mod:`repro.ir.printer`     -- textual IR emission
+* :mod:`repro.ir.parser`      -- textual IR parsing (round-trips printer)
+* :mod:`repro.ir.verifier`    -- structural well-formedness checks
+* :mod:`repro.ir.cfg`         -- CFG utilities (dominators, ipostdom)
+"""
+
+from repro.ir.types import (
+    AddressSpace,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    VOID,
+    ptr,
+)
+from repro.ir.values import Argument, Constant, GlobalString, GlobalVariable, Value
+from repro.ir.debuginfo import DebugLoc
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_module
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_module
+
+__all__ = [
+    "AddressSpace",
+    "Alloca",
+    "Argument",
+    "AtomicRMW",
+    "BOOL",
+    "BasicBlock",
+    "BinOp",
+    "Br",
+    "Call",
+    "Cast",
+    "CondBr",
+    "Constant",
+    "DebugLoc",
+    "F32",
+    "F64",
+    "FCmp",
+    "FloatType",
+    "Function",
+    "GetElementPtr",
+    "GlobalString",
+    "GlobalVariable",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "ICmp",
+    "IRBuilder",
+    "Instruction",
+    "IntType",
+    "Load",
+    "Module",
+    "Phi",
+    "PointerType",
+    "Ret",
+    "Select",
+    "Store",
+    "Type",
+    "VOID",
+    "Value",
+    "VoidType",
+    "parse_module",
+    "print_module",
+    "ptr",
+    "verify_module",
+]

@@ -1,0 +1,240 @@
+"""IRBuilder: positioned instruction construction, like llvm::IRBuilder.
+
+The instrumentation passes in the paper (Listings 1 and 3) create their
+hook calls through an ``IRBuilder<>`` positioned at the instruction being
+instrumented; :class:`IRBuilder` offers the same workflow:
+
+    builder = IRBuilder.before(load_inst)
+    raw = builder.bitcast(load_inst.pointer, ptr(I8))
+    builder.call(record_hook, [raw, builder.i32(bits), ...])
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import IRError
+from repro.ir.debuginfo import DebugLoc
+from repro.ir.instructions import (
+    Alloca,
+    AtomicOp,
+    AtomicRMW,
+    BinOp,
+    Br,
+    CacheOp,
+    Call,
+    Cast,
+    CastKind,
+    CmpPred,
+    CondBr,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Opcode,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import (
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+)
+from repro.ir.values import Constant, Value
+
+
+class IRBuilder:
+    """Builds instructions at a given position inside a function."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self._block = block
+        self._anchor: Optional[Instruction] = None  # insert before this
+        self.current_loc: Optional[DebugLoc] = None
+
+    # -- positioning --------------------------------------------------------
+    @classmethod
+    def at_end(cls, block: BasicBlock) -> "IRBuilder":
+        b = cls(block)
+        return b
+
+    @classmethod
+    def before(cls, inst: Instruction) -> "IRBuilder":
+        if inst.parent is None:
+            raise IRError("instruction is not inside a block")
+        b = cls(inst.parent)
+        b._anchor = inst
+        b.current_loc = inst.debug_loc
+        return b
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self._block = block
+        self._anchor = None
+
+    def position_before(self, inst: Instruction) -> None:
+        self._block = inst.parent
+        self._anchor = inst
+
+    @property
+    def block(self) -> BasicBlock:
+        if self._block is None:
+            raise IRError("builder has no insertion block")
+        return self._block
+
+    @property
+    def function(self) -> Function:
+        return self.block.parent
+
+    def set_loc(self, loc: Optional[DebugLoc]) -> None:
+        self.current_loc = loc
+
+    # -- insertion core ------------------------------------------------------
+    def _insert(self, inst: Instruction) -> Instruction:
+        if inst.debug_loc is None:
+            inst.debug_loc = self.current_loc
+        if self._anchor is not None:
+            self.block.insert_before(self._anchor, inst)
+        else:
+            self.block.append(inst)
+        return inst
+
+    def _name(self, base: str) -> str:
+        return self.function.unique_value_name(base)
+
+    # -- constants -------------------------------------------------------------
+    def i32(self, v: int) -> Constant:
+        return Constant(I32, v)
+
+    def i64(self, v: int) -> Constant:
+        return Constant(I64, v)
+
+    def f32(self, v: float) -> Constant:
+        return Constant(F32, v)
+
+    def f64(self, v: float) -> Constant:
+        return Constant(F64, v)
+
+    def true(self) -> Constant:
+        return Constant(BOOL, True)
+
+    def false(self) -> Constant:
+        return Constant(BOOL, False)
+
+    # -- memory ------------------------------------------------------------------
+    def alloca(self, element_type: Type, count: int = 1, name: str = "stack") -> Alloca:
+        return self._insert(Alloca(element_type, count, self._name(name)))
+
+    def load(
+        self, pointer: Value, name: str = "ld", cache_op: CacheOp = CacheOp.CACHE_ALL
+    ) -> Load:
+        return self._insert(Load(pointer, self._name(name), cache_op))
+
+    def store(
+        self, value: Value, pointer: Value, cache_op: CacheOp = CacheOp.CACHE_ALL
+    ) -> Store:
+        return self._insert(Store(value, pointer, cache_op))
+
+    def gep(self, base: Value, index: Value, name: str = "gep") -> GetElementPtr:
+        return self._insert(GetElementPtr(base, index, self._name(name)))
+
+    def atomic_rmw(
+        self, op: AtomicOp, pointer: Value, value: Value, name: str = "old"
+    ) -> AtomicRMW:
+        return self._insert(AtomicRMW(op, pointer, value, self._name(name)))
+
+    # -- arithmetic -----------------------------------------------------------------
+    def binop(self, opcode: Opcode, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self._insert(BinOp(opcode, lhs, rhs, self._name(name or opcode.value)))
+
+    def add(self, a: Value, b: Value, name: str = "add") -> BinOp:
+        return self.binop(Opcode.ADD, a, b, name)
+
+    def sub(self, a: Value, b: Value, name: str = "sub") -> BinOp:
+        return self.binop(Opcode.SUB, a, b, name)
+
+    def mul(self, a: Value, b: Value, name: str = "mul") -> BinOp:
+        return self.binop(Opcode.MUL, a, b, name)
+
+    def sdiv(self, a: Value, b: Value, name: str = "div") -> BinOp:
+        return self.binop(Opcode.SDIV, a, b, name)
+
+    def srem(self, a: Value, b: Value, name: str = "rem") -> BinOp:
+        return self.binop(Opcode.SREM, a, b, name)
+
+    def fadd(self, a: Value, b: Value, name: str = "fadd") -> BinOp:
+        return self.binop(Opcode.FADD, a, b, name)
+
+    def fsub(self, a: Value, b: Value, name: str = "fsub") -> BinOp:
+        return self.binop(Opcode.FSUB, a, b, name)
+
+    def fmul(self, a: Value, b: Value, name: str = "fmul") -> BinOp:
+        return self.binop(Opcode.FMUL, a, b, name)
+
+    def fdiv(self, a: Value, b: Value, name: str = "fdiv") -> BinOp:
+        return self.binop(Opcode.FDIV, a, b, name)
+
+    def icmp(self, pred: CmpPred, a: Value, b: Value, name: str = "cmp") -> ICmp:
+        return self._insert(ICmp(pred, a, b, self._name(name)))
+
+    def fcmp(self, pred: CmpPred, a: Value, b: Value, name: str = "fcmp") -> FCmp:
+        return self._insert(FCmp(pred, a, b, self._name(name)))
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "sel") -> Select:
+        return self._insert(Select(cond, a, b, self._name(name)))
+
+    def cast(self, kind: CastKind, value: Value, to_type: Type, name: str = "cast") -> Cast:
+        return self._insert(Cast(kind, value, to_type, self._name(name)))
+
+    def bitcast(self, value: Value, to_type: Type, name: str = "bc") -> Cast:
+        return self.cast(CastKind.BITCAST, value, to_type, name)
+
+    def sitofp(self, value: Value, to_type: Type, name: str = "conv") -> Cast:
+        return self.cast(CastKind.SITOFP, value, to_type, name)
+
+    def fptosi(self, value: Value, to_type: Type, name: str = "conv") -> Cast:
+        return self.cast(CastKind.FPTOSI, value, to_type, name)
+
+    def zext(self, value: Value, to_type: Type, name: str = "ext") -> Cast:
+        return self.cast(CastKind.ZEXT, value, to_type, name)
+
+    def sext(self, value: Value, to_type: Type, name: str = "ext") -> Cast:
+        return self.cast(CastKind.SEXT, value, to_type, name)
+
+    def trunc(self, value: Value, to_type: Type, name: str = "trunc") -> Cast:
+        return self.cast(CastKind.TRUNC, value, to_type, name)
+
+    # -- control flow ---------------------------------------------------------------
+    def br(self, target: BasicBlock) -> Br:
+        return self._insert(Br(target))
+
+    def cond_br(self, cond: Value, iftrue: BasicBlock, iffalse: BasicBlock) -> CondBr:
+        return self._insert(CondBr(cond, iftrue, iffalse))
+
+    def ret(self, value: Optional[Value] = None) -> Ret:
+        return self._insert(Ret(value))
+
+    def phi(self, type_: Type, name: str = "phi") -> Phi:
+        return self._insert(Phi(type_, self._name(name)))
+
+    # -- calls ---------------------------------------------------------------------
+    def call(self, callee: Function, args: Sequence[Value], name: str = "call") -> Call:
+        expected = callee.type.params
+        if len(expected) != len(args):
+            raise IRError(
+                f"call to {callee.name}: expected {len(expected)} args, got {len(args)}"
+            )
+        for i, (want, got) in enumerate(zip(expected, args)):
+            if want != got.type:
+                raise IRError(
+                    f"call to {callee.name}: arg {i} has type {got.type}, expected {want}"
+                )
+        return self._insert(Call(callee, args, self._name(name)))

@@ -1,0 +1,173 @@
+"""Control-flow-graph utilities.
+
+The SIMT engine needs *immediate post-dominators* to place reconvergence
+points for divergent branches (the classic stack-based reconvergence
+model), and the passes need predecessor maps and reverse-post-order
+walks. Everything here is computed from the block successor lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import IRError
+from repro.ir.instructions import Ret
+from repro.ir.module import BasicBlock, Function
+
+
+def successors(block: BasicBlock) -> Tuple[BasicBlock, ...]:
+    return block.successors()
+
+
+def predecessor_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in fn.blocks}
+    for block in fn.blocks:
+        for succ in block.successors():
+            preds[succ].append(block)
+    return preds
+
+
+def reverse_post_order(fn: Function) -> List[BasicBlock]:
+    """Blocks in reverse post-order from the entry (unreachable excluded)."""
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors()))]
+        seen.add(id(block))
+        while stack:
+            current, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if id(succ) not in seen:
+                    seen.add(id(succ))
+                    stack.append((succ, iter(succ.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(fn.entry)
+    order.reverse()
+    return order
+
+
+def reachable_blocks(fn: Function) -> Set[BasicBlock]:
+    return set(reverse_post_order(fn))
+
+
+def _dominators_generic(
+    nodes: List[BasicBlock],
+    entry: BasicBlock,
+    preds: Dict[BasicBlock, List[BasicBlock]],
+) -> Dict[BasicBlock, Optional[BasicBlock]]:
+    """Cooper-Harvey-Kennedy iterative idom computation over any graph."""
+    index = {id(b): i for i, b in enumerate(nodes)}
+    idom: Dict[int, Optional[BasicBlock]] = {id(b): None for b in nodes}
+    idom[id(entry)] = entry
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while index[id(a)] > index[id(b)]:
+                a = idom[id(a)]
+            while index[id(b)] > index[id(a)]:
+                b = idom[id(b)]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in nodes:
+            if block is entry:
+                continue
+            new_idom: Optional[BasicBlock] = None
+            for pred in preds.get(block, ()):  # only processed preds count
+                if id(pred) in idom and idom[id(pred)] is not None:
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = intersect(pred, new_idom)
+            if new_idom is not None and idom[id(block)] is not new_idom:
+                idom[id(block)] = new_idom
+                changed = True
+    result: Dict[BasicBlock, Optional[BasicBlock]] = {}
+    for block in nodes:
+        d = idom[id(block)]
+        result[block] = None if block is entry else d
+    return result
+
+
+def immediate_dominators(fn: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
+    nodes = reverse_post_order(fn)
+    preds = predecessor_map(fn)
+    return _dominators_generic(nodes, fn.entry, preds)
+
+
+class _VirtualExit(BasicBlock):
+    """A synthetic sink joining every ``ret`` block (for post-dominators)."""
+
+    def __init__(self):
+        super().__init__("<virtual-exit>", None)
+
+
+def immediate_post_dominators(
+    fn: Function,
+) -> Dict[BasicBlock, Optional[BasicBlock]]:
+    """ipostdom for every reachable block.
+
+    Blocks whose only path forward is an infinite loop post-dominate into
+    the virtual exit's frontier and map to ``None``; the SIMT engine then
+    reconverges such branches at function return.
+    """
+    blocks = reverse_post_order(fn)
+    exit_node = _VirtualExit()
+
+    # In the reverse graph an edge succ -> block exists for every CFG edge
+    # block -> succ, plus exit -> retblock for every ret block; therefore a
+    # node's reverse-graph *predecessors* are its CFG successors (and the
+    # virtual exit for ret blocks).
+    rev_preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in blocks}
+    rev_preds[exit_node] = []
+    for block in blocks:
+        for succ in block.successors():
+            rev_preds[block].append(succ)
+        term = block.terminator
+        if term is None or isinstance(term, Ret):
+            rev_preds[block].append(exit_node)
+
+    # Post-order of the reverse graph starting at exit.
+    seen: Set[int] = {id(exit_node)}
+    order: List[BasicBlock] = []
+    # Reverse-graph successors of a node are its CFG predecessors (+ exit
+    # edges); easiest to do a DFS over edges succ->pred built explicitly.
+    cfg_preds = predecessor_map(fn)
+    rev_succ: Dict[int, List[BasicBlock]] = {id(exit_node): []}
+    for block in blocks:
+        rev_succ[id(block)] = list(cfg_preds.get(block, ()))
+    for block in blocks:
+        term = block.terminator
+        if term is None or isinstance(term, Ret):
+            rev_succ[id(exit_node)].append(block)
+
+    stack = [(exit_node, iter(rev_succ[id(exit_node)]))]
+    while stack:
+        current, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if id(nxt) not in seen:
+                seen.add(id(nxt))
+                stack.append((nxt, iter(rev_succ[id(nxt)])))
+                advanced = True
+                break
+        if not advanced:
+            order.append(current)
+            stack.pop()
+    order.reverse()  # reverse post-order of reverse graph
+
+    idom = _dominators_generic(order, exit_node, rev_preds)
+    result: Dict[BasicBlock, Optional[BasicBlock]] = {}
+    for block in blocks:
+        d = idom.get(block)
+        result[block] = None if d is exit_node or d is None else d
+    return result

@@ -1,0 +1,31 @@
+"""Source-location debug metadata (the stand-in for LLVM ``!dbg``).
+
+Every instruction can carry a :class:`DebugLoc`; the instrumentation
+engine forwards it into the profiling hooks so the analyzer can attribute
+events to source file / line / column exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DebugLoc:
+    """A (file, line, column) source location."""
+
+    filename: str
+    line: int
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.col}"
+
+    @staticmethod
+    def unknown() -> "DebugLoc":
+        return DebugLoc("<unknown>", 0, 0)
+
+    @property
+    def is_known(self) -> bool:
+        return self.line > 0

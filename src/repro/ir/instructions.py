@@ -1,0 +1,389 @@
+"""The instruction set of the mini-IR.
+
+The opcodes are a pragmatic subset of LLVM's, chosen to cover everything
+the ten evaluation kernels and the instrumentation passes need:
+
+* memory: ``alloca``, ``load``, ``store``, ``getelementptr``, ``atomicrmw``
+* arithmetic: ``BinOp`` (integer + float families), ``icmp``, ``fcmp``,
+  ``select``, ``Cast`` (trunc/zext/sext/sitofp/fptosi/bitcast/...)
+* control flow: ``br`` (cond + uncond), ``ret``, ``phi``
+* calls: ``call`` (device functions, intrinsics, instrumentation hooks)
+
+Loads and stores carry a *cache operator* like PTX (``.ca`` cached in L1,
+``.cg`` bypass L1, plus ``dynamic`` used by the horizontal-bypass
+transform, where the access caches only for warps below the launch-time
+threshold -- the Listing 5 rewrite of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.debuginfo import DebugLoc
+from repro.ir.types import (
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    BOOL,
+    I64,
+    VOID,
+)
+from repro.ir.values import Constant, Value
+
+
+class Opcode(str, enum.Enum):
+    """Binary-operator opcodes."""
+
+    # integer
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    SDIV = "sdiv"
+    SREM = "srem"
+    UDIV = "udiv"
+    UREM = "urem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+    SMIN = "smin"
+    SMAX = "smax"
+    # float
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FREM = "frem"
+    FMIN = "fmin"
+    FMAX = "fmax"
+
+    @property
+    def is_float_op(self) -> bool:
+        return self.value.startswith("f")
+
+    @property
+    def is_division(self) -> bool:
+        return self in (Opcode.SDIV, Opcode.SREM, Opcode.UDIV, Opcode.UREM)
+
+
+INT_OPCODES = frozenset(op for op in Opcode if not op.is_float_op)
+FLOAT_OPCODES = frozenset(op for op in Opcode if op.is_float_op)
+
+
+class CmpPred(str, enum.Enum):
+    """Comparison predicates shared by icmp (signed) and fcmp (ordered)."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+class CastKind(str, enum.Enum):
+    TRUNC = "trunc"
+    ZEXT = "zext"
+    SEXT = "sext"
+    FPTRUNC = "fptrunc"
+    FPEXT = "fpext"
+    SITOFP = "sitofp"
+    FPTOSI = "fptosi"
+    BITCAST = "bitcast"
+    PTRTOINT = "ptrtoint"
+    INTTOPTR = "inttoptr"
+
+
+class CacheOp(str, enum.Enum):
+    """PTX-style cache operator on loads/stores."""
+
+    CACHE_ALL = "ca"      # default: cache in L1 and L2
+    CACHE_GLOBAL = "cg"   # bypass L1, cache in L2
+    DYNAMIC = "dyn"       # horizontal bypass: .ca iff warp-in-CTA < threshold
+
+
+class AtomicOp(str, enum.Enum):
+    ADD = "add"
+    SUB = "sub"
+    MIN = "min"
+    MAX = "max"
+    EXCH = "exch"
+    CAS = "cas"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+
+
+class Instruction(Value):
+    """Base class: a Value (its result) plus operands and a debug loc.
+
+    Instructions producing no value have type ``void`` and empty name.
+    """
+
+    def __init__(self, type_: Type, name: str, operands: Sequence[Value]):
+        super().__init__(type_, name)
+        self.operands: List[Value] = list(operands)
+        self.debug_loc: Optional[DebugLoc] = None
+        self.parent = None  # BasicBlock, set on insertion
+
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Br, CondBr, Ret))
+
+    def successors(self) -> Tuple:
+        """Successor basic blocks (terminators only)."""
+        return ()
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` in the operand list."""
+        count = 0
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                count += 1
+        return count
+
+    def with_loc(self, loc: Optional[DebugLoc]) -> "Instruction":
+        self.debug_loc = loc
+        return self
+
+
+class Alloca(Instruction):
+    """Stack (thread-local) allocation of ``count`` elements."""
+
+    def __init__(self, element_type: Type, count: int, name: str):
+        from repro.ir.types import AddressSpace, ptr
+
+        super().__init__(ptr(element_type, AddressSpace.LOCAL), name, [])
+        self.element_type = element_type
+        self.count = count
+
+
+class Load(Instruction):
+    def __init__(self, pointer: Value, name: str, cache_op: CacheOp = CacheOp.CACHE_ALL):
+        if not isinstance(pointer.type, PointerType):
+            raise IRError(f"load requires a pointer operand, got {pointer.type}")
+        super().__init__(pointer.type.pointee, name, [pointer])
+        self.cache_op = cache_op
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    def __init__(self, value: Value, pointer: Value, cache_op: CacheOp = CacheOp.CACHE_ALL):
+        if not isinstance(pointer.type, PointerType):
+            raise IRError(f"store requires a pointer operand, got {pointer.type}")
+        if pointer.type.pointee != value.type:
+            raise IRError(
+                f"store type mismatch: storing {value.type} through {pointer.type}"
+            )
+        super().__init__(VOID, "", [value, pointer])
+        self.cache_op = cache_op
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class GetElementPtr(Instruction):
+    """Pointer arithmetic: ``base + index * sizeof(pointee)`` (array GEP)."""
+
+    def __init__(self, base: Value, index: Value, name: str):
+        if not isinstance(base.type, PointerType):
+            raise IRError(f"gep requires a pointer base, got {base.type}")
+        if not isinstance(index.type, IntType):
+            raise IRError(f"gep index must be an integer, got {index.type}")
+        super().__init__(base.type, name, [base, index])
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class BinOp(Instruction):
+    def __init__(self, opcode: Opcode, lhs: Value, rhs: Value, name: str):
+        if lhs.type != rhs.type:
+            raise IRError(f"{opcode.value}: operand types differ ({lhs.type} vs {rhs.type})")
+        if opcode.is_float_op and not lhs.type.is_float:
+            raise IRError(f"{opcode.value} requires float operands, got {lhs.type}")
+        if not opcode.is_float_op and not lhs.type.is_int:
+            raise IRError(f"{opcode.value} requires integer operands, got {lhs.type}")
+        super().__init__(lhs.type, name, [lhs, rhs])
+        self.opcode = opcode
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class ICmp(Instruction):
+    def __init__(self, pred: CmpPred, lhs: Value, rhs: Value, name: str):
+        if lhs.type != rhs.type:
+            raise IRError(f"icmp: operand types differ ({lhs.type} vs {rhs.type})")
+        if not (lhs.type.is_int or lhs.type.is_pointer):
+            raise IRError(f"icmp requires integer/pointer operands, got {lhs.type}")
+        super().__init__(BOOL, name, [lhs, rhs])
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class FCmp(Instruction):
+    def __init__(self, pred: CmpPred, lhs: Value, rhs: Value, name: str):
+        if lhs.type != rhs.type:
+            raise IRError(f"fcmp: operand types differ ({lhs.type} vs {rhs.type})")
+        if not lhs.type.is_float:
+            raise IRError(f"fcmp requires float operands, got {lhs.type}")
+        super().__init__(BOOL, name, [lhs, rhs])
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class Cast(Instruction):
+    def __init__(self, kind: CastKind, value: Value, to_type: Type, name: str):
+        super().__init__(to_type, name, [value])
+        self.kind = kind
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class Select(Instruction):
+    def __init__(self, cond: Value, iftrue: Value, iffalse: Value, name: str):
+        if cond.type != BOOL:
+            raise IRError(f"select condition must be i1, got {cond.type}")
+        if iftrue.type != iffalse.type:
+            raise IRError("select arms must have the same type")
+        super().__init__(iftrue.type, name, [cond, iftrue, iffalse])
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def iftrue(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def iffalse(self) -> Value:
+        return self.operands[2]
+
+
+class AtomicRMW(Instruction):
+    """Atomic read-modify-write; returns the old value."""
+
+    def __init__(self, op: AtomicOp, pointer: Value, value: Value, name: str):
+        if not isinstance(pointer.type, PointerType):
+            raise IRError("atomicrmw requires a pointer operand")
+        if pointer.type.pointee != value.type:
+            raise IRError("atomicrmw value type must match pointee")
+        super().__init__(value.type, name, [pointer, value])
+        self.op = op
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+
+class Call(Instruction):
+    """A direct call. ``callee`` is a Function (possibly a declaration)."""
+
+    def __init__(self, callee, args: Sequence[Value], name: str):
+        ret = callee.return_type
+        super().__init__(ret, name if not ret.is_void else "", list(args))
+        self.callee = callee
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands
+
+
+class Br(Instruction):
+    """Unconditional branch."""
+
+    def __init__(self, target):
+        super().__init__(VOID, "", [])
+        self.target = target
+
+    def successors(self):
+        return (self.target,)
+
+
+class CondBr(Instruction):
+    """Conditional branch."""
+
+    def __init__(self, cond: Value, iftrue, iffalse):
+        if cond.type != BOOL:
+            raise IRError(f"conditional branch requires an i1, got {cond.type}")
+        super().__init__(VOID, "", [cond])
+        self.iftrue = iftrue
+        self.iffalse = iffalse
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    def successors(self):
+        return (self.iftrue, self.iffalse)
+
+
+class Ret(Instruction):
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(VOID, "", [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+class Phi(Instruction):
+    """SSA phi node: ``incoming`` is a list of (value, predecessor-block)."""
+
+    def __init__(self, type_: Type, name: str):
+        super().__init__(type_, name, [])
+        self.incoming: List[Tuple[Value, object]] = []
+
+    def add_incoming(self, value: Value, block) -> None:
+        if value.type != self.type:
+            raise IRError(
+                f"phi incoming type {value.type} does not match {self.type}"
+            )
+        self.incoming.append((value, block))
+        self.operands.append(value)

@@ -1,0 +1,274 @@
+"""Containers: Module -> Function -> BasicBlock -> Instruction.
+
+A :class:`Module` is the unit the instrumentation engine operates on, the
+analogue of one LLVM bitcode file. CUDA programs produce *two* modules
+(host and device); the device module is lowered to PTX and embedded into
+the host module as a fat binary (see :mod:`repro.backend.fatbin`),
+mirroring Figure 2 of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.instructions import Instruction
+from repro.ir.types import FunctionType, Type, VOID
+from repro.ir.values import Argument, GlobalString, GlobalVariable, Value
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None):
+        self.name = name
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    # -- structural edits ---------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        if self.terminator is not None:
+            raise IRError(f"block {self.name} already has a terminator")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert_before(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        """Insert ``inst`` immediately before ``anchor`` (which must be here)."""
+        idx = self._index_of(anchor)
+        inst.parent = self
+        self.instructions.insert(idx, inst)
+        return inst
+
+    def insert_after(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        idx = self._index_of(anchor)
+        inst.parent = self
+        self.instructions.insert(idx + 1, inst)
+        return inst
+
+    def insert_at_start(self, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.insert(0, inst)
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    def _index_of(self, inst: Instruction) -> int:
+        for i, existing in enumerate(self.instructions):
+            if existing is inst:
+                return i
+        raise IRError(f"instruction not in block {self.name}")
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def successors(self) -> Tuple["BasicBlock", ...]:
+        term = self.terminator
+        return term.successors() if term is not None else ()
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def ref(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"
+
+
+class Function(Value):
+    """A function: declaration (no blocks) or definition (>= 1 block).
+
+    ``kind`` distinguishes how the toolchain treats it:
+
+    * ``"kernel"``  -- a ``__global__`` GPU entry point
+    * ``"device"``  -- a ``__device__`` function callable from kernels
+    * ``"host"``    -- CPU-side code
+    * ``"intrinsic"`` -- built-in (``nvvm.read.ptx.sreg.tid.x``, barriers)
+    * ``"hook"``    -- a CUDAAdvisor analysis function (``Record`` etc.)
+    """
+
+    KINDS = ("kernel", "device", "host", "intrinsic", "hook")
+
+    def __init__(
+        self,
+        name: str,
+        return_type: Type,
+        params: Sequence[Tuple[Type, str]],
+        kind: str = "device",
+    ):
+        if kind not in self.KINDS:
+            raise IRError(f"unknown function kind {kind!r}")
+        ftype = FunctionType(return_type, tuple(t for t, _ in params))
+        super().__init__(ftype, name)
+        self.return_type = return_type
+        self.args: List[Argument] = [
+            Argument(t, n, i) for i, (t, n) in enumerate(params)
+        ]
+        self.kind = kind
+        self.blocks: List[BasicBlock] = []
+        self.parent: Optional[Module] = None
+        self._name_counter = itertools.count()
+        self._taken_names: set = {a.name for a in self.args}
+
+    # -- construction ---------------------------------------------------------
+    def add_block(self, name: str = "") -> BasicBlock:
+        block = BasicBlock(self._unique_name(name or "bb"), self)
+        self.blocks.append(block)
+        return block
+
+    def insert_block_after(self, anchor: BasicBlock, name: str = "") -> BasicBlock:
+        block = BasicBlock(self._unique_name(name or "bb"), self)
+        idx = self.blocks.index(anchor)
+        self.blocks.insert(idx + 1, block)
+        return block
+
+    def _unique_name(self, base: str) -> str:
+        if base not in self._taken_names:
+            self._taken_names.add(base)
+            return base
+        while True:
+            cand = f"{base}.{next(self._name_counter)}"
+            if cand not in self._taken_names:
+                self._taken_names.add(cand)
+                return cand
+
+    def unique_value_name(self, base: str) -> str:
+        return self._unique_name(base or "v")
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no body")
+        return self.blocks[0]
+
+    def block(self, name: str) -> BasicBlock:
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise IRError(f"no block named {name} in {self.name}")
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Function {self.name} kind={self.kind}>"
+
+
+class Module:
+    """A translation unit: functions plus global variables/strings."""
+
+    def __init__(self, name: str, target: str = "generic"):
+        self.name = name
+        self.target = target  # "nvptx" for device modules, "host" for CPU
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+        self.strings: Dict[str, GlobalString] = {}
+        self._string_counter = itertools.count()
+
+    # -- functions -------------------------------------------------------------
+    def add_function(
+        self,
+        name: str,
+        return_type: Type,
+        params: Sequence[Tuple[Type, str]],
+        kind: str = "device",
+    ) -> Function:
+        if name in self.functions:
+            raise IRError(f"function {name} already exists in module {self.name}")
+        fn = Function(name, return_type, params, kind)
+        fn.parent = self
+        self.functions[name] = fn
+        return fn
+
+    def declare_function(
+        self,
+        name: str,
+        return_type: Type,
+        params: Sequence[Tuple[Type, str]],
+        kind: str = "device",
+    ) -> Function:
+        """Add a declaration; idempotent if an identical one exists."""
+        if name in self.functions:
+            fn = self.functions[name]
+            want = FunctionType(return_type, tuple(t for t, _ in params))
+            if fn.type != want:
+                raise IRError(f"conflicting declaration for {name}")
+            return fn
+        return self.add_function(name, return_type, params, kind)
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"no function named {name} in module {self.name}") from None
+
+    def kernels(self) -> List[Function]:
+        return [f for f in self.functions.values() if f.kind == "kernel"]
+
+    # -- globals ----------------------------------------------------------------
+    def add_global(self, var: GlobalVariable) -> GlobalVariable:
+        if var.name in self.globals:
+            raise IRError(f"global {var.name} already exists")
+        self.globals[var.name] = var
+        return var
+
+    def add_string(self, text: str) -> GlobalString:
+        """Intern a constant string (one copy per distinct text)."""
+        for s in self.strings.values():
+            if s.text == text:
+                return s
+        name = f"str.{next(self._string_counter)}"
+        s = GlobalString(name, text)
+        self.strings[name] = s
+        return s
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Module {self.name} target={self.target} fns={len(self.functions)}>"
+
+
+def link_modules(dest: Module, src: Module) -> Module:
+    """Merge ``src`` into ``dest`` (the stand-in for ``llvm-link``).
+
+    The paper compiles the analysis functions (``Record`` etc.) in a
+    separate CUDA file and merges its bitcode into the kernel bitcode with
+    ``llvm-link``; hook libraries here take the same route.
+    """
+    for name, fn in src.functions.items():
+        if name in dest.functions:
+            have = dest.functions[name]
+            if have.is_declaration and not fn.is_declaration:
+                # Definition replaces declaration.
+                fn.parent = dest
+                dest.functions[name] = fn
+            elif not have.is_declaration and not fn.is_declaration:
+                raise IRError(f"duplicate definition of {name} while linking")
+        else:
+            fn.parent = dest
+            dest.functions[name] = fn
+    for name, var in src.globals.items():
+        if name not in dest.globals:
+            dest.globals[name] = var
+    for name, s in src.strings.items():
+        if name not in dest.strings:
+            dest.strings[name] = s
+    return dest

@@ -1,0 +1,160 @@
+"""Textual IR emission, in an LLVM-flavoured syntax.
+
+Designed to round-trip through :mod:`repro.ir.parser`. A printed module
+looks like:
+
+    ; module device of example
+    target = "nvptx"
+
+    @str.0 = constant c"entry"
+
+    define kernel void @axpy(float* %x, float* %y, float %a) {
+    entry:
+      %tid = call i32 @nvvm.tid.x() !dbg "axpy.py":3:10
+      ...
+      ret void
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    CacheOp,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Value
+
+
+def _loc_suffix(inst: Instruction) -> str:
+    loc = inst.debug_loc
+    if loc is None or not loc.is_known:
+        return ""
+    return f' !dbg "{loc.filename}":{loc.line}:{loc.col}'
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Print a single instruction (without indentation or dbg suffix)."""
+    if isinstance(inst, Alloca):
+        return f"{inst.ref()} = alloca {inst.element_type}, count {inst.count}"
+    if isinstance(inst, Load):
+        op = "" if inst.cache_op == CacheOp.CACHE_ALL else f".{inst.cache_op.value}"
+        return f"{inst.ref()} = load{op} {inst.type}, {inst.pointer.type} {inst.pointer.ref()}"
+    if isinstance(inst, Store):
+        op = "" if inst.cache_op == CacheOp.CACHE_ALL else f".{inst.cache_op.value}"
+        return (
+            f"store{op} {inst.value.type} {inst.value.ref()}, "
+            f"{inst.pointer.type} {inst.pointer.ref()}"
+        )
+    if isinstance(inst, GetElementPtr):
+        return (
+            f"{inst.ref()} = getelementptr {inst.base.type} {inst.base.ref()}, "
+            f"{inst.index.type} {inst.index.ref()}"
+        )
+    if isinstance(inst, BinOp):
+        return (
+            f"{inst.ref()} = {inst.opcode.value} {inst.type} "
+            f"{inst.lhs.ref()}, {inst.rhs.ref()}"
+        )
+    if isinstance(inst, ICmp):
+        return (
+            f"{inst.ref()} = icmp {inst.pred.value} {inst.lhs.type} "
+            f"{inst.lhs.ref()}, {inst.rhs.ref()}"
+        )
+    if isinstance(inst, FCmp):
+        return (
+            f"{inst.ref()} = fcmp {inst.pred.value} {inst.lhs.type} "
+            f"{inst.lhs.ref()}, {inst.rhs.ref()}"
+        )
+    if isinstance(inst, Cast):
+        return (
+            f"{inst.ref()} = {inst.kind.value} {inst.value.type} "
+            f"{inst.value.ref()} to {inst.type}"
+        )
+    if isinstance(inst, Select):
+        return (
+            f"{inst.ref()} = select i1 {inst.cond.ref()}, {inst.iftrue.type} "
+            f"{inst.iftrue.ref()}, {inst.iffalse.type} {inst.iffalse.ref()}"
+        )
+    if isinstance(inst, AtomicRMW):
+        return (
+            f"{inst.ref()} = atomicrmw {inst.op.value} {inst.pointer.type} "
+            f"{inst.pointer.ref()}, {inst.value.type} {inst.value.ref()}"
+        )
+    if isinstance(inst, Call):
+        args = ", ".join(f"{a.type} {a.ref()}" for a in inst.args)
+        if inst.type.is_void:
+            return f"call void {inst.callee.ref()}({args})"
+        return f"{inst.ref()} = call {inst.type} {inst.callee.ref()}({args})"
+    if isinstance(inst, Br):
+        return f"br label %{inst.target.name}"
+    if isinstance(inst, CondBr):
+        return (
+            f"br i1 {inst.cond.ref()}, label %{inst.iftrue.name}, "
+            f"label %{inst.iffalse.name}"
+        )
+    if isinstance(inst, Ret):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {inst.value.type} {inst.value.ref()}"
+    if isinstance(inst, Phi):
+        pairs = ", ".join(
+            f"[ {v.ref()}, %{b.name} ]" for v, b in inst.incoming
+        )
+        return f"{inst.ref()} = phi {inst.type} {pairs}"
+    raise IRError(f"cannot print instruction {inst!r}")
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {print_instruction(inst)}{_loc_suffix(inst)}")
+    return "\n".join(lines)
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    header = f"{fn.kind} {fn.return_type} @{fn.name}({params})"
+    if fn.is_declaration:
+        return f"declare {header}"
+    body = "\n\n".join(print_block(b) for b in fn.blocks)
+    return f"define {header} {{\n{body}\n}}"
+
+
+def print_module(module: Module) -> str:
+    parts: List[str] = [f"; module {module.name}", f'target = "{module.target}"']
+    for s in module.strings.values():
+        parts.append(f'@{s.name} = constant c"{_escape(s.text)}"')
+    for g in module.globals.values():
+        init = ""
+        if g.initializer is not None:
+            init = " init [" + ", ".join(repr(v) for v in g.initializer) + "]"
+        parts.append(
+            f"@{g.name} = global {g.element_type}, count {g.count}, "
+            f"addrspace {int(g.addrspace)}{init}"
+        )
+    for fn in module.functions.values():
+        parts.append(print_function(fn))
+    return "\n\n".join(parts) + "\n"

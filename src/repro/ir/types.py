@@ -1,0 +1,207 @@
+"""The IR type system.
+
+Types are interned value objects: two structurally identical types
+compare equal and hash equal, so they can key dictionaries (the
+interpreter keys numpy dtypes off them).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import IRError
+
+
+class AddressSpace(enum.IntEnum):
+    """NVPTX-style address spaces for pointers."""
+
+    GENERIC = 0
+    GLOBAL = 1
+    SHARED = 3
+    CONSTANT = 4
+    LOCAL = 5
+
+
+class Type:
+    """Base class for IR types."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        return ()
+
+    # -- classification helpers -------------------------------------------
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self, IntType) and self.bits == 1
+
+    def size_bytes(self) -> int:
+        """Storage size in bytes; raises for void."""
+        raise IRError(f"type {self} has no storage size")
+
+    def size_bits(self) -> int:
+        return self.size_bytes() * 8
+
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype the SIMT interpreter uses for lanes of this type."""
+        raise IRError(f"type {self} has no numpy dtype")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """An integer type of a given bit width. ``i1`` doubles as bool."""
+
+    _DTYPES = {1: np.bool_, 8: np.int8, 16: np.int16, 32: np.int32, 64: np.int64}
+
+    def __init__(self, bits: int):
+        if bits not in self._DTYPES:
+            raise IRError(f"unsupported integer width i{bits}")
+        self.bits = bits
+
+    def _key(self):
+        return (self.bits,)
+
+    def size_bytes(self) -> int:
+        return 1 if self.bits == 1 else self.bits // 8
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(self._DTYPES[self.bits])
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(Type):
+    """An IEEE float type (f32 or f64)."""
+
+    _DTYPES = {32: np.float32, 64: np.float64}
+
+    def __init__(self, bits: int):
+        if bits not in self._DTYPES:
+            raise IRError(f"unsupported float width f{bits}")
+        self.bits = bits
+
+    def _key(self):
+        return (self.bits,)
+
+    def size_bytes(self) -> int:
+        return self.bits // 8
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(self._DTYPES[self.bits])
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+
+class PointerType(Type):
+    """A typed pointer into a given address space.
+
+    Pointers are 64-bit integers at runtime (byte addresses into the
+    simulated address space), like device pointers on a real GPU.
+    """
+
+    def __init__(self, pointee: Type, addrspace: AddressSpace = AddressSpace.GLOBAL):
+        if pointee.is_void:
+            # i8* is our void*; keep LLVM's convention.
+            raise IRError("pointer to void is not allowed; use i8*")
+        self.pointee = pointee
+        self.addrspace = AddressSpace(addrspace)
+
+    def _key(self):
+        return (self.pointee, self.addrspace)
+
+    def size_bytes(self) -> int:
+        return 8
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(np.int64)
+
+    def __str__(self) -> str:
+        if self.addrspace == AddressSpace.GLOBAL:
+            return f"{self.pointee}*"
+        return f"{self.pointee} addrspace({int(self.addrspace)})*"
+
+
+class FunctionType(Type):
+    """The type of a function: return type plus parameter types."""
+
+    def __init__(self, ret: Type, params: tuple):
+        self.ret = ret
+        self.params = tuple(params)
+
+    def _key(self):
+        return (self.ret, self.params)
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"{self.ret} ({params})"
+
+
+# Canonical singletons -----------------------------------------------------
+VOID = VoidType()
+BOOL = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def ptr(pointee: Type, addrspace: AddressSpace = AddressSpace.GLOBAL) -> PointerType:
+    """Shorthand constructor for pointer types."""
+    return PointerType(pointee, addrspace)
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type from its printed form (used by the IR parser)."""
+    text = text.strip()
+    if text.endswith("*"):
+        inner = text[:-1].strip()
+        space = AddressSpace.GLOBAL
+        if inner.endswith(")"):
+            idx = inner.rfind("addrspace(")
+            if idx >= 0:
+                space = AddressSpace(int(inner[idx + len("addrspace("):-1]))
+                inner = inner[:idx].strip()
+        return PointerType(parse_type(inner), space)
+    if text == "void":
+        return VOID
+    if text == "float":
+        return F32
+    if text == "double":
+        return F64
+    if text.startswith("i") and text[1:].isdigit():
+        return IntType(int(text[1:]))
+    raise IRError(f"cannot parse type {text!r}")

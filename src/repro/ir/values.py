@@ -1,0 +1,127 @@
+"""IR values: the things instructions consume and produce.
+
+A :class:`Value` has a type and (when named) an SSA-style name. Unlike
+full LLVM we do not maintain use lists; passes walk blocks explicitly,
+which keeps the data structures simple while still supporting every
+rewrite the paper's engine performs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import IRError
+from repro.ir.types import (
+    AddressSpace,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    I8,
+    ptr,
+)
+
+
+class Value:
+    """Base class for all IR values."""
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.type = type_
+        self.name = name
+
+    def ref(self) -> str:
+        """The printed reference form, e.g. ``%x`` or ``42``."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.type} {self.ref()}>"
+
+
+class Constant(Value):
+    """A typed literal (int, float, bool, or null pointer)."""
+
+    def __init__(self, type_: Type, value: Union[int, float, bool]):
+        super().__init__(type_, "")
+        if isinstance(type_, IntType):
+            if type_.bits == 1:
+                value = bool(value)
+            else:
+                value = int(value)
+                # Wrap into the representable range, like LLVM truncation.
+                mask = (1 << type_.bits) - 1
+                value &= mask
+                if value >= 1 << (type_.bits - 1):
+                    value -= 1 << type_.bits
+        elif isinstance(type_, FloatType):
+            value = float(value)
+        elif isinstance(type_, PointerType):
+            value = int(value)
+        else:
+            raise IRError(f"cannot build a constant of type {type_}")
+        self.value = value
+
+    def ref(self) -> str:
+        if isinstance(self.type, IntType) and self.type.bits == 1:
+            return "true" if self.value else "false"
+        if isinstance(self.type, FloatType):
+            return repr(float(self.value))
+        if isinstance(self.type, PointerType):
+            return "null" if self.value == 0 else str(self.value)
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, type_: Type, name: str, index: int):
+        super().__init__(type_, name)
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level variable; its value is a pointer to its storage.
+
+    ``initializer`` is a list of python numbers (flattened) or ``None``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        element_type: Type,
+        count: int = 1,
+        addrspace: AddressSpace = AddressSpace.GLOBAL,
+        initializer=None,
+    ):
+        super().__init__(ptr(element_type, addrspace), name)
+        self.element_type = element_type
+        self.count = count
+        self.addrspace = addrspace
+        self.initializer = initializer
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+
+class GlobalString(Value):
+    """A constant string in global memory (basic-block names, file names).
+
+    Mirrors LLVM's ``private unnamed_addr constant [N x i8] c"..."`` that
+    the paper's Listing 4 creates for basic-block name arguments.
+    """
+
+    def __init__(self, name: str, text: str):
+        super().__init__(ptr(I8, AddressSpace.CONSTANT), name)
+        self.text = text
+
+    def ref(self) -> str:
+        return f"@{self.name}"

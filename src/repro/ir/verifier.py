@@ -1,0 +1,179 @@
+"""Structural well-formedness checks for IR modules.
+
+Run after the frontend and after every instrumentation pass (the engine
+verifies its output before handing it to the backend, the way one runs
+``opt -verify``). Checks:
+
+* every block ends in exactly one terminator, and only at the end
+* branch targets belong to the same function
+* every used value dominates its use (approximated: defined in the same
+  block earlier, in a dominating block, or is an argument/constant/global)
+* phis agree with the predecessor set
+* call signatures match; kernels return void; allocas are positive
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import VerifierError
+from repro.ir.cfg import immediate_dominators, predecessor_map, reachable_blocks
+from repro.ir.instructions import (
+    Alloca,
+    Br,
+    Call,
+    CondBr,
+    Instruction,
+    Phi,
+    Ret,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Argument, Constant, GlobalString, GlobalVariable
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`VerifierError` on the first violation found."""
+    for fn in module.functions.values():
+        if not fn.is_declaration:
+            _verify_function(module, fn)
+
+
+def _verify_function(module: Module, fn: Function) -> None:
+    where = f"function @{fn.name}"
+    if fn.kind == "kernel" and not fn.return_type.is_void:
+        raise VerifierError(f"{where}: kernels must return void")
+    if not fn.blocks:
+        raise VerifierError(f"{where}: definition with no blocks")
+
+    block_set = set(id(b) for b in fn.blocks)
+    for block in fn.blocks:
+        _verify_block(module, fn, block, block_set)
+
+    _verify_dominance(fn)
+
+
+def _verify_block(
+    module: Module, fn: Function, block: BasicBlock, block_set: Set[int]
+) -> None:
+    where = f"@{fn.name}:{block.name}"
+    if not block.instructions:
+        raise VerifierError(f"{where}: empty block")
+    term = block.instructions[-1]
+    if not term.is_terminator:
+        raise VerifierError(f"{where}: block does not end in a terminator")
+    for inst in block.instructions[:-1]:
+        if inst.is_terminator:
+            raise VerifierError(f"{where}: terminator in the middle of a block")
+
+    for succ in block.successors():
+        if id(succ) not in block_set:
+            raise VerifierError(
+                f"{where}: branch to block {succ.name} of another function"
+            )
+
+    for inst in block.instructions:
+        if isinstance(inst, Call):
+            callee = inst.callee
+            if callee.name not in module.functions:
+                raise VerifierError(
+                    f"{where}: call to @{callee.name} not in module"
+                )
+            if len(callee.type.params) != len(inst.args):
+                raise VerifierError(
+                    f"{where}: call to @{callee.name} arity mismatch"
+                )
+            for i, (want, got) in enumerate(zip(callee.type.params, inst.args)):
+                if want != got.type:
+                    raise VerifierError(
+                        f"{where}: call to @{callee.name} arg {i}: "
+                        f"{got.type} != {want}"
+                    )
+        if isinstance(inst, Alloca) and inst.count <= 0:
+            raise VerifierError(f"{where}: alloca with non-positive count")
+        if isinstance(inst, Ret):
+            if inst.value is None:
+                if not fn.return_type.is_void:
+                    raise VerifierError(f"{where}: ret void in non-void function")
+            elif inst.value.type != fn.return_type:
+                raise VerifierError(
+                    f"{where}: ret type {inst.value.type} != {fn.return_type}"
+                )
+
+    # Phis must be at the top of the block and match predecessors.
+    preds = None
+    seen_non_phi = False
+    for inst in block.instructions:
+        if isinstance(inst, Phi):
+            if seen_non_phi:
+                raise VerifierError(f"{where}: phi after non-phi instruction")
+            if preds is None:
+                preds = predecessor_map(fn)
+            incoming_blocks = {id(b) for _, b in inst.incoming}
+            pred_blocks = {id(b) for b in preds[block]}
+            if incoming_blocks != pred_blocks:
+                raise VerifierError(
+                    f"{where}: phi incoming blocks do not match predecessors"
+                )
+        else:
+            seen_non_phi = True
+
+
+def _verify_dominance(fn: Function) -> None:
+    """Every instruction operand must be defined before (dominating) use."""
+    reachable = reachable_blocks(fn)
+    idom = immediate_dominators(fn)
+    args = set(id(a) for a in fn.args)
+
+    # Map each defining instruction to (block, index)
+    position: Dict[int, tuple] = {}
+    for block in fn.blocks:
+        for i, inst in enumerate(block.instructions):
+            if not inst.type.is_void:
+                position[id(inst)] = (block, i)
+
+    def dominates_block(a: BasicBlock, b: BasicBlock) -> bool:
+        node: Optional[BasicBlock] = b
+        while node is not None:
+            if node is a:
+                return True
+            node = idom.get(node)
+        return False
+
+    for block in fn.blocks:
+        if block not in reachable:
+            continue
+        for i, inst in enumerate(block.instructions):
+            operand_groups = (
+                [(v, pb) for v, pb in inst.incoming]
+                if isinstance(inst, Phi)
+                else [(op, None) for op in inst.operands]
+            )
+            for op, phi_block in operand_groups:
+                if isinstance(op, (Constant, GlobalVariable, GlobalString)):
+                    continue
+                if isinstance(op, Function):
+                    continue
+                if id(op) in args:
+                    continue
+                pos = position.get(id(op))
+                if pos is None:
+                    raise VerifierError(
+                        f"@{fn.name}:{block.name}: use of value %{op.name} "
+                        f"that is never defined"
+                    )
+                def_block, def_idx = pos
+                # A phi's use point is the end of the incoming block.
+                use_block = phi_block if phi_block is not None else block
+                if use_block not in reachable or def_block not in reachable:
+                    continue
+                if def_block is use_block and phi_block is None:
+                    if def_idx >= i:
+                        raise VerifierError(
+                            f"@{fn.name}:{block.name}: %{op.name} used before "
+                            f"definition"
+                        )
+                elif not dominates_block(def_block, use_block):
+                    raise VerifierError(
+                        f"@{fn.name}:{block.name}: definition of %{op.name} in "
+                        f"{def_block.name} does not dominate use"
+                    )

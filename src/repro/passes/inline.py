@@ -1,0 +1,230 @@
+"""Function inlining.
+
+Inlines small ``device`` functions into their callers: the call block is
+split at the call site, the callee's blocks are cloned with arguments
+bound to the actuals, and every return branches to the continuation
+(joining return values through a phi when needed).
+
+Motivation from the paper: Section 5 attributes part of CUDAAdvisor's
+overhead to "a function call to each instrumentation site" and plans "a
+more efficient way to insert instructions rather than heavyweight
+function calls" -- call overhead is real even in device code, and nw's
+``maximum3`` in its inner wavefront loops is the showcase here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PassError
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Argument, Value
+from repro.passes.manager import FunctionPass
+
+
+def _clone_instruction(inst: Instruction, remap) -> Instruction:
+    """Clone one instruction with operands passed through ``remap``."""
+    if isinstance(inst, Alloca):
+        clone = Alloca(inst.element_type, inst.count, inst.name)
+    elif isinstance(inst, Load):
+        clone = Load(remap(inst.pointer), inst.name, inst.cache_op)
+    elif isinstance(inst, Store):
+        clone = Store(remap(inst.value), remap(inst.pointer), inst.cache_op)
+    elif isinstance(inst, GetElementPtr):
+        clone = GetElementPtr(remap(inst.base), remap(inst.index), inst.name)
+    elif isinstance(inst, BinOp):
+        clone = BinOp(inst.opcode, remap(inst.lhs), remap(inst.rhs), inst.name)
+    elif isinstance(inst, ICmp):
+        clone = ICmp(inst.pred, remap(inst.lhs), remap(inst.rhs), inst.name)
+    elif isinstance(inst, FCmp):
+        clone = FCmp(inst.pred, remap(inst.lhs), remap(inst.rhs), inst.name)
+    elif isinstance(inst, Cast):
+        clone = Cast(inst.kind, remap(inst.value), inst.type, inst.name)
+    elif isinstance(inst, Select):
+        clone = Select(
+            remap(inst.cond), remap(inst.iftrue), remap(inst.iffalse),
+            inst.name,
+        )
+    elif isinstance(inst, AtomicRMW):
+        clone = AtomicRMW(
+            inst.op, remap(inst.pointer), remap(inst.value), inst.name
+        )
+    elif isinstance(inst, Call):
+        clone = Call(inst.callee, [remap(a) for a in inst.args], inst.name)
+    else:  # terminators and phis are handled by the caller
+        raise PassError(f"cannot clone {inst!r}")
+    clone.debug_loc = inst.debug_loc
+    return clone
+
+
+def _function_size(fn: Function) -> int:
+    return sum(len(b.instructions) for b in fn.blocks)
+
+
+def _is_recursive(fn: Function) -> bool:
+    return any(
+        isinstance(i, Call) and i.callee is fn for i in fn.instructions()
+    )
+
+
+class InlineFunctionsPass(FunctionPass):
+    """Inline device-function calls whose callee is small enough."""
+
+    name = "inline"
+
+    def __init__(self, max_callee_instructions: int = 48,
+                 max_rounds: int = 4):
+        self.max_callee_instructions = max_callee_instructions
+        self.max_rounds = max_rounds
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        changed = False
+        for _ in range(self.max_rounds):
+            site = self._find_inlinable_call(fn)
+            if site is None:
+                break
+            self._inline(fn, *site)
+            changed = True
+            # Keep going: inlining may expose further inlinable calls.
+            continue
+        return changed
+
+    def _find_inlinable_call(self, fn: Function):
+        for block in fn.blocks:
+            for idx, inst in enumerate(block.instructions):
+                if not isinstance(inst, Call):
+                    continue
+                callee = inst.callee
+                if callee.kind != "device" or callee.is_declaration:
+                    continue
+                if callee is fn or _is_recursive(callee):
+                    continue
+                if _function_size(callee) > self.max_callee_instructions:
+                    continue
+                return block, idx, inst
+        return None
+
+    # -- the transplant ------------------------------------------------------
+    def _inline(self, caller: Function, block: BasicBlock, call_idx: int,
+                call: Call) -> None:
+        callee = call.callee
+
+        # 1. Split the call block: `block` keeps everything before the
+        # call; `continuation` receives everything after it.
+        continuation = caller.insert_block_after(
+            block, f"{callee.name}.exit"
+        )
+        tail = block.instructions[call_idx + 1:]
+        block.instructions = block.instructions[:call_idx]
+        for inst in tail:
+            inst.parent = continuation
+        continuation.instructions = tail
+
+        # 2. Clone the callee body.
+        value_map: Dict[int, Value] = {}
+        for formal, actual in zip(callee.args, call.args):
+            value_map[id(formal)] = actual
+
+        def remap(v: Value) -> Value:
+            return value_map.get(id(v), v)
+
+        block_map: Dict[int, BasicBlock] = {}
+        for src in callee.blocks:
+            block_map[id(src)] = caller.insert_block_after(
+                continuation, f"{callee.name}.{src.name}"
+            )
+
+        returns: List[Tuple[Optional[Value], BasicBlock]] = []
+        pending_phis: List[Tuple[Phi, Phi]] = []  # (clone, original)
+        for src in callee.blocks:
+            dst = block_map[id(src)]
+            for inst in src.instructions:
+                if isinstance(inst, Ret):
+                    value = remap(inst.value) if inst.value is not None else None
+                    returns.append((value, dst))
+                    br = Br(continuation)
+                    br.debug_loc = inst.debug_loc
+                    dst.append(br)
+                elif isinstance(inst, Br):
+                    br = Br(block_map[id(inst.target)])
+                    br.debug_loc = inst.debug_loc
+                    dst.append(br)
+                elif isinstance(inst, CondBr):
+                    cbr = CondBr(
+                        remap(inst.cond),
+                        block_map[id(inst.iftrue)],
+                        block_map[id(inst.iffalse)],
+                    )
+                    cbr.debug_loc = inst.debug_loc
+                    dst.append(cbr)
+                elif isinstance(inst, Phi):
+                    clone = Phi(inst.type, caller.unique_value_name(inst.name))
+                    clone.debug_loc = inst.debug_loc
+                    dst.append(clone)
+                    value_map[id(inst)] = clone
+                    pending_phis.append((clone, inst))
+                else:
+                    clone = _clone_instruction(inst, remap)
+                    clone.name = caller.unique_value_name(clone.name)
+                    dst.append(clone)
+                    value_map[id(inst)] = clone
+        # Phi arms may reference forward values: fill them last.
+        for clone, original in pending_phis:
+            for value, pred in original.incoming:
+                clone.add_incoming(remap(value), block_map[id(pred)])
+
+        # 3. Route control flow: caller block -> cloned entry.
+        entry_clone = block_map[id(callee.entry)]
+        enter = Br(entry_clone)
+        enter.debug_loc = call.debug_loc
+        block.append(enter)
+
+        # 4. Join return values and replace uses of the call result.
+        replacement: Optional[Value] = None
+        if not call.type.is_void:
+            if len(returns) == 1:
+                replacement = returns[0][0]
+            else:
+                phi = Phi(call.type, caller.unique_value_name("retval"))
+                phi.debug_loc = call.debug_loc
+                for value, pred in returns:
+                    phi.add_incoming(value, pred)
+                continuation.insert_at_start(phi)
+                replacement = phi
+            for b in caller.blocks:
+                for inst in b.instructions:
+                    inst.replace_operand(call, replacement)
+                    if isinstance(inst, Phi):
+                        inst.incoming = [
+                            (replacement if v is call else v, pb)
+                            for v, pb in inst.incoming
+                        ]
+
+        # 5. The original block's terminator moved into `continuation`,
+        # so its successors' phis must name `continuation` as the
+        # predecessor instead of `block`.
+        for succ in continuation.successors():
+            for inst in succ.instructions:
+                if isinstance(inst, Phi):
+                    inst.incoming = [
+                        (v, continuation if pb is block else pb)
+                        for v, pb in inst.incoming
+                    ]

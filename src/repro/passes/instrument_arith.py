@@ -1,0 +1,63 @@
+"""Arithmetic-operation instrumentation (the engine's third optional
+category, Section 3.1-II of the paper).
+
+Before every binary arithmetic instruction the pass inserts::
+
+    call void @RecordArith(i8* <opcode-string>, i32 <bits>, i32 <is_float>,
+                           i32 <line>, i32 <col>)
+
+which is enough to build FLOP counters, mix histograms and per-source-
+line arithmetic-intensity metrics in the analyzer.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import BinOp
+from repro.ir.module import Function, Module
+from repro.ir.types import AddressSpace, I8, I32, VOID, ptr
+from repro.passes.manager import FunctionPass
+
+ARITH_HOOK = "RecordArith"
+
+
+def declare_arith_hook(module: Module) -> Function:
+    return module.declare_function(
+        ARITH_HOOK,
+        VOID,
+        [
+            (ptr(I8, AddressSpace.CONSTANT), "opcode"),
+            (I32, "bits"),
+            (I32, "is_float"),
+            (I32, "line"),
+            (I32, "col"),
+        ],
+        kind="hook",
+    )
+
+
+class ArithInstrumentationPass(FunctionPass):
+    name = "cudaadvisor-arith"
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        hook = declare_arith_hook(module)
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if not isinstance(inst, BinOp):
+                    continue
+                opcode_str = module.add_string(inst.opcode.value)
+                builder = IRBuilder.before(inst)
+                loc = inst.debug_loc
+                builder.call(
+                    hook,
+                    [
+                        opcode_str,
+                        builder.i32(inst.type.size_bits()),
+                        builder.i32(1 if inst.opcode.is_float_op else 0),
+                        builder.i32(loc.line if loc else 0),
+                        builder.i32(loc.col if loc else 0),
+                    ],
+                )
+                changed = True
+        return changed

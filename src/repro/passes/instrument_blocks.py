@@ -1,0 +1,62 @@
+"""Basic-block (control-flow) instrumentation (Listings 3-4 of the paper).
+
+At the entry of every basic block the pass inserts::
+
+    call void @passBasicBlock(i8* <name-string>, i32 <line>, i32 <col>)
+
+where the first argument points at a global constant string holding the
+block's name (qualified with the function name, so the analyzer can tell
+``bfs_kernel:if.then`` from ``nw_kernel:if.then``), exactly like the
+``@5 = private unnamed_addr constant ... c"entry\\00"`` string Listing 4
+creates. The hook receives the warp's active mask, from which the
+branch-divergence analyzer computes Table 3.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Phi
+from repro.ir.module import Function, Module
+from repro.ir.types import AddressSpace, I8, I32, VOID, ptr
+from repro.passes.manager import FunctionPass
+
+BLOCK_HOOK = "passBasicBlock"
+
+
+def declare_block_hook(module: Module) -> Function:
+    return module.declare_function(
+        BLOCK_HOOK,
+        VOID,
+        [
+            (ptr(I8, AddressSpace.CONSTANT), "bb_name"),
+            (I32, "line"),
+            (I32, "col"),
+        ],
+        kind="hook",
+    )
+
+
+class BlockInstrumentationPass(FunctionPass):
+    name = "cudaadvisor-blocks"
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        hook = declare_block_hook(module)
+        for block in fn.blocks:
+            name = module.add_string(f"{fn.name}:{block.name}")
+            # Insert after any phis (phis must stay at the block head).
+            anchor = None
+            for inst in block.instructions:
+                if not isinstance(inst, Phi):
+                    anchor = inst
+                    break
+            builder = IRBuilder.before(anchor)
+            loc = anchor.debug_loc
+            builder.call(
+                hook,
+                [
+                    name,
+                    builder.i32(loc.line if loc else 0),
+                    builder.i32(loc.col if loc else 0),
+                ],
+            )
+        return bool(fn.blocks)

@@ -1,0 +1,78 @@
+"""Mandatory call/return instrumentation (Section 3.1-I of the paper).
+
+CUDAAdvisor always reconstructs call paths, so the engine mandatorily
+instruments every call to a kernel/device function:
+
+* before the call:  ``call void @cupr.push(i32 <callee-id>, i32 <line>,
+  i32 <col>)`` -- push the call site onto the warp's shadow stack;
+* after the call:   ``call void @cupr.pop()``.
+
+Function IDs come from the module's function table (an "encoding map
+from the number to function name and source code" kept in GPU memory in
+the paper; here, on the module image). The kernel's own entry frame is
+pushed by the profiler at launch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Call
+from repro.ir.module import Function, Module
+from repro.ir.types import I32, VOID
+from repro.passes.manager import FunctionPass
+
+PUSH_HOOK = "cupr.push"
+POP_HOOK = "cupr.pop"
+
+
+def declare_callpath_hooks(module: Module):
+    push = module.declare_function(
+        PUSH_HOOK,
+        VOID,
+        [(I32, "callee_id"), (I32, "line"), (I32, "col")],
+        kind="hook",
+    )
+    pop = module.declare_function(POP_HOOK, VOID, [], kind="hook")
+    return push, pop
+
+
+def assign_function_ids(module: Module) -> Dict[str, int]:
+    """Stable function-id assignment; must match the module image's."""
+    ids: Dict[str, int] = {}
+    for fn in module.functions.values():
+        if fn.kind in ("kernel", "device"):
+            ids[fn.name] = len(ids)
+    return ids
+
+
+class CallPathInstrumentationPass(FunctionPass):
+    name = "cudaadvisor-callpath"
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        push, pop = declare_callpath_hooks(module)
+        ids = assign_function_ids(module)
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if not isinstance(inst, Call):
+                    continue
+                if inst.callee.kind not in ("kernel", "device"):
+                    continue
+                callee_id = ids[inst.callee.name]
+                loc = inst.debug_loc
+                before = IRBuilder.before(inst)
+                before.call(
+                    push,
+                    [
+                        before.i32(callee_id),
+                        before.i32(loc.line if loc else 0),
+                        before.i32(loc.col if loc else 0),
+                    ],
+                )
+                pop_call = Call(pop, [], "")
+                pop_call.debug_loc = loc
+                block.insert_after(inst, pop_call)
+                changed = True
+        return changed

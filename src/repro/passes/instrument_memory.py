@@ -1,0 +1,109 @@
+"""Memory-access instrumentation (Listing 1 of the paper).
+
+For every global-memory load/store (and optionally atomic) the pass
+inserts, immediately before the access::
+
+    %raw = bitcast <ty>* %ptr to i8*
+    call void @Record(i8* %raw, i32 <bits>, i32 <line>, i32 <col>, i32 <op>)
+
+exactly mirroring the paper's instrumented bitcode (Listing 2). The
+``Record`` analysis function is a *hook*: at run time the launch's
+HookRuntime receives the per-lane effective addresses, access width and
+source location, packs them with CTA/thread IDs into trace entries, and
+appends them to the device trace buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import AtomicRMW, Instruction, Load, Store
+from repro.ir.module import Function, Module
+from repro.ir.types import AddressSpace, PointerType, I8, I32, VOID, ptr
+from repro.ir.values import Constant
+from repro.passes.manager import FunctionPass
+
+RECORD_HOOK = "Record"
+
+#: operation codes passed as Record's last argument
+OP_LOAD = 1
+OP_STORE = 2
+OP_ATOMIC = 3
+
+
+def declare_record_hook(module: Module) -> Function:
+    return module.declare_function(
+        RECORD_HOOK,
+        VOID,
+        [
+            (ptr(I8, AddressSpace.GLOBAL), "addr"),
+            (I32, "bits"),
+            (I32, "line"),
+            (I32, "col"),
+            (I32, "op"),
+        ],
+        kind="hook",
+    )
+
+
+class MemoryInstrumentationPass(FunctionPass):
+    """Instrument global loads/stores (optionally shared and atomics)."""
+
+    name = "cudaadvisor-memory"
+
+    def __init__(
+        self,
+        instrument_loads: bool = True,
+        instrument_stores: bool = True,
+        instrument_atomics: bool = True,
+        address_spaces: Tuple[AddressSpace, ...] = (AddressSpace.GLOBAL,),
+    ):
+        self.instrument_loads = instrument_loads
+        self.instrument_stores = instrument_stores
+        self.instrument_atomics = instrument_atomics
+        self.address_spaces = address_spaces
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        hook = declare_record_hook(module)
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                info = self._classify(inst)
+                if info is None:
+                    continue
+                pointer, bits, opcode = info
+                builder = IRBuilder.before(inst)
+                loc = inst.debug_loc
+                raw = pointer
+                if pointer.type != ptr(I8, AddressSpace.GLOBAL):
+                    raw = builder.bitcast(pointer, ptr(I8, AddressSpace.GLOBAL))
+                builder.call(
+                    hook,
+                    [
+                        raw,
+                        builder.i32(bits),
+                        builder.i32(loc.line if loc else 0),
+                        builder.i32(loc.col if loc else 0),
+                        builder.i32(opcode),
+                    ],
+                )
+                changed = True
+        return changed
+
+    def _classify(self, inst: Instruction) -> Optional[Tuple]:
+        if isinstance(inst, Load) and self.instrument_loads:
+            pointer, opcode = inst.pointer, OP_LOAD
+        elif isinstance(inst, Store) and self.instrument_stores:
+            pointer, opcode = inst.pointer, OP_STORE
+        elif isinstance(inst, AtomicRMW) and self.instrument_atomics:
+            pointer, opcode = inst.pointer, OP_ATOMIC
+        else:
+            return None
+        ptype = pointer.type
+        if not isinstance(ptype, PointerType):
+            return None
+        if ptype.addrspace not in self.address_spaces:
+            return None
+        bits = ptype.pointee.size_bits()
+        return pointer, bits, opcode

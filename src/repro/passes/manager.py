@@ -1,0 +1,69 @@
+"""Pass manager: ordered pass execution with optional verification.
+
+Mirrors ``opt``: passes declare a ``name``, run over a module (or each
+function), and the manager re-verifies the IR after each pass so a buggy
+rewrite is caught at its source.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.errors import PassError
+from repro.ir.module import Function, Module
+from repro.ir.verifier import verify_module
+
+
+class ModulePass:
+    """Base class: transforms a whole module in place."""
+
+    name = "module-pass"
+
+    def run(self, module: Module) -> bool:
+        """Returns True if the module was changed."""
+        raise NotImplementedError
+
+
+class FunctionPass(ModulePass):
+    """Base class: transforms each function with a body."""
+
+    name = "function-pass"
+
+    #: which function kinds the pass applies to
+    kinds = ("kernel", "device")
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for fn in list(module.functions.values()):
+            if fn.is_declaration or fn.kind not in self.kinds:
+                continue
+            changed = self.run_on_function(module, fn) or changed
+        return changed
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pipeline of passes, verifying after each one."""
+
+    def __init__(self, passes: Iterable[ModulePass], verify: bool = True):
+        self.passes: List[ModulePass] = list(passes)
+        self.verify = verify
+        self.log: List[str] = []
+
+    def run(self, module: Module) -> Module:
+        for p in self.passes:
+            try:
+                changed = p.run(module)
+            except Exception as exc:
+                raise PassError(f"pass {p.name!r} failed: {exc}") from exc
+            self.log.append(f"{p.name}: {'changed' if changed else 'no-op'}")
+            if self.verify and changed:
+                try:
+                    verify_module(module)
+                except Exception as exc:
+                    raise PassError(
+                        f"pass {p.name!r} produced invalid IR: {exc}"
+                    ) from exc
+        return module

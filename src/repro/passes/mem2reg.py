@@ -1,0 +1,186 @@
+"""Promote scalar stack slots to SSA registers (LLVM's ``mem2reg``).
+
+The frontend compiles like Clang at -O0: every local variable is an
+``alloca`` plus loads/stores. This pass promotes every non-escaping
+single-element alloca to SSA form with phi nodes, using iterated
+dominance frontiers (Cytron et al. via Cooper-Harvey-Kennedy DF).
+
+Besides being the standard first optimization, this matters to the
+reproduction: local-memory traffic disappears from the executed kernel,
+leaving exactly the *global* accesses the CUDAAdvisor memory pass
+instruments -- the same effect real ``-O1`` compilation has on the
+paper's measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.cfg import immediate_dominators, predecessor_map, reachable_blocks
+from repro.ir.instructions import Alloca, Instruction, Load, Phi, Store
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Constant, Value
+from repro.ir.types import FloatType, IntType
+from repro.passes.manager import FunctionPass
+
+
+def _promotable_allocas(fn: Function) -> List[Alloca]:
+    """Single-element allocas used only as load/store pointer operands."""
+    allocas: List[Alloca] = []
+    disqualified: Set[int] = set()
+    for inst in fn.instructions():
+        if isinstance(inst, Alloca) and inst.count == 1:
+            allocas.append(inst)
+    candidate_ids = {id(a) for a in allocas}
+    for inst in fn.instructions():
+        if isinstance(inst, Load):
+            continue  # pointer operand use is fine
+        if isinstance(inst, Store):
+            # Fine as the *pointer*; storing the address itself escapes.
+            if id(inst.value) in candidate_ids:
+                disqualified.add(id(inst.value))
+            continue
+        for op in inst.operands:
+            if id(op) in candidate_ids:
+                disqualified.add(id(op))
+    return [a for a in allocas if id(a) not in disqualified]
+
+
+def _dominance_frontiers(
+    fn: Function,
+) -> Dict[BasicBlock, Set[BasicBlock]]:
+    idom = immediate_dominators(fn)
+    preds = predecessor_map(fn)
+    df: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in fn.blocks}
+    for block in fn.blocks:
+        if len(preds[block]) < 2:
+            continue
+        for pred in preds[block]:
+            runner: Optional[BasicBlock] = pred
+            while runner is not None and runner is not idom.get(block):
+                df.setdefault(runner, set()).add(block)
+                runner = idom.get(runner)
+    return df
+
+
+def _default_value(alloca: Alloca) -> Constant:
+    t = alloca.element_type
+    if isinstance(t, FloatType):
+        return Constant(t, 0.0)
+    return Constant(t, 0)
+
+
+class Mem2RegPass(FunctionPass):
+    name = "mem2reg"
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        allocas = _promotable_allocas(fn)
+        if not allocas:
+            return False
+
+        reachable = reachable_blocks(fn)
+        df = _dominance_frontiers(fn)
+        idom = immediate_dominators(fn)
+
+        # Children map of the dominator tree for the renaming walk.
+        children: Dict[Optional[BasicBlock], List[BasicBlock]] = {}
+        for block in fn.blocks:
+            if block not in reachable:
+                continue
+            children.setdefault(idom.get(block), []).append(block)
+
+        alloca_ids = {id(a): a for a in allocas}
+        # Phase 1: insert phis at iterated dominance frontiers of stores.
+        phis: Dict[Tuple[int, int], Phi] = {}  # (alloca, block) -> phi
+        for alloca in allocas:
+            def_blocks = {
+                inst.parent
+                for inst in fn.instructions()
+                if isinstance(inst, Store) and id(inst.pointer) == id(alloca)
+            }
+            work = [b for b in def_blocks if b in reachable]
+            placed: Set[int] = set()
+            while work:
+                block = work.pop()
+                for frontier in df.get(block, ()):
+                    if id(frontier) in placed or frontier not in reachable:
+                        continue
+                    placed.add(id(frontier))
+                    phi = Phi(alloca.element_type,
+                              fn.unique_value_name(alloca.name or "var"))
+                    phi.parent = frontier
+                    frontier.instructions.insert(0, phi)
+                    phis[(id(alloca), id(frontier))] = phi
+                    if frontier not in def_blocks:
+                        work.append(frontier)
+
+        # Phase 2: rename along the dominator tree.
+        preds = predecessor_map(fn)
+        replacements: Dict[int, Value] = {}  # load id -> value
+        # Keep removed instructions alive: ``replacements`` keys are id()s,
+        # and a garbage-collected instruction's id could be reused by a
+        # fresh object, corrupting the map.
+        removed_keepalive: List[object] = []
+
+        def rename(block: BasicBlock, incoming: Dict[int, Value]) -> None:
+            current = dict(incoming)
+            for inst in list(block.instructions):
+                if isinstance(inst, Phi):
+                    for key, phi in phis.items():
+                        if phi is inst:
+                            current[key[0]] = phi
+                    continue
+                if isinstance(inst, Load) and id(inst.pointer) in alloca_ids:
+                    aid = id(inst.pointer)
+                    value = current.get(aid)
+                    if value is None:
+                        value = _default_value(alloca_ids[aid])
+                    replacements[id(inst)] = value
+                    removed_keepalive.append(inst)
+                    block.remove(inst)
+                elif isinstance(inst, Store) and id(inst.pointer) in alloca_ids:
+                    current[id(inst.pointer)] = replacements.get(
+                        id(inst.value), inst.value
+                    )
+                    removed_keepalive.append(inst)
+                    block.remove(inst)
+                else:
+                    for i, op in enumerate(inst.operands):
+                        repl = replacements.get(id(op))
+                        if repl is not None:
+                            inst.operands[i] = repl
+            # Fill phi arms of successors.
+            for succ in block.successors():
+                for alloca in allocas:
+                    phi = phis.get((id(alloca), id(succ)))
+                    if phi is not None:
+                        value = current.get(id(alloca))
+                        if value is None:
+                            value = _default_value(alloca)
+                        value = replacements.get(id(value), value)
+                        phi.add_incoming(value, block)
+            for child in children.get(block, []):
+                rename(child, current)
+
+        # The dominator-tree walk guarantees defs are seen before uses;
+        # start from the entry with no values defined.
+        rename_stack_entry = fn.entry
+        rename(rename_stack_entry, {})
+
+        # Phase 3: drop the allocas and fix any remaining operand refs.
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if isinstance(inst, Alloca) and id(inst) in alloca_ids:
+                    block.remove(inst)
+                else:
+                    for i, op in enumerate(inst.operands):
+                        repl = replacements.get(id(op))
+                        if repl is not None:
+                            inst.operands[i] = repl
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    inst.incoming = [
+                        (replacements.get(id(v), v), b) for v, b in inst.incoming
+                    ]
+                    inst.operands = [v for v, _ in inst.incoming]
+        return True

@@ -1,0 +1,62 @@
+"""Canned pass pipelines.
+
+``optimization_pipeline`` is the stand-in for Clang's -O pipeline, run
+on freshly-compiled modules before anything else.
+``instrumentation_pipeline`` assembles the CUDAAdvisor engine's passes
+for a requested analysis mode, matching the artifact's RD_mode / MD_mode
+/ BD_mode experiment directories:
+
+* ``"memory"``  -- Record() on global loads/stores (+ atomics): feeds the
+  reuse-distance (RD) and memory-divergence (MD) analyses;
+* ``"blocks"``  -- passBasicBlock() on every block: feeds the branch-
+  divergence (BD) analysis;
+* ``"arith"``   -- RecordArith() on every binary operation;
+* any combination, plus the always-on call-path instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import PassError
+from repro.passes.manager import ModulePass, PassManager
+from repro.passes.mem2reg import Mem2RegPass
+from repro.passes.constfold import ConstantFoldPass
+from repro.passes.dce import DeadCodeEliminationPass
+from repro.passes.simplifycfg import SimplifyCFGPass
+from repro.passes.instrument_memory import MemoryInstrumentationPass
+from repro.passes.instrument_blocks import BlockInstrumentationPass
+from repro.passes.instrument_arith import ArithInstrumentationPass
+from repro.passes.instrument_callret import CallPathInstrumentationPass
+
+ANALYSIS_MODES = ("memory", "blocks", "arith")
+
+
+def optimization_pipeline() -> PassManager:
+    """mem2reg + constant folding + DCE + CFG cleanup (like -O1)."""
+    return PassManager(
+        [
+            SimplifyCFGPass(),
+            Mem2RegPass(),
+            ConstantFoldPass(),
+            DeadCodeEliminationPass(),
+            SimplifyCFGPass(),
+        ]
+    )
+
+
+def instrumentation_pipeline(modes: Sequence[str] = ("memory",)) -> PassManager:
+    """The CUDAAdvisor engine for the requested analysis modes."""
+    passes: List[ModulePass] = [CallPathInstrumentationPass()]  # mandatory
+    for mode in modes:
+        if mode == "memory":
+            passes.append(MemoryInstrumentationPass())
+        elif mode == "blocks":
+            passes.append(BlockInstrumentationPass())
+        elif mode == "arith":
+            passes.append(ArithInstrumentationPass())
+        else:
+            raise PassError(
+                f"unknown analysis mode {mode!r}; pick from {ANALYSIS_MODES}"
+            )
+    return PassManager(passes)

@@ -1,0 +1,110 @@
+"""CFG simplification.
+
+Three standard cleanups, iterated to a fixed point:
+
+1. fold conditional branches whose condition is a literal;
+2. delete unreachable blocks (patching phi arms);
+3. merge a block into its unique predecessor when that predecessor ends
+   in an unconditional branch to it and it has no other predecessors
+   (and no phis).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.cfg import predecessor_map, reachable_blocks
+from repro.ir.instructions import Br, CondBr, Phi
+from repro.ir.module import Function, Module
+from repro.ir.values import Constant
+from repro.passes.manager import FunctionPass
+
+
+class SimplifyCFGPass(FunctionPass):
+    name = "simplifycfg"
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        changed = False
+        while True:
+            step_changed = (
+                self._fold_constant_branches(fn)
+                or self._remove_unreachable(fn)
+                or self._merge_blocks(fn)
+            )
+            if not step_changed:
+                return changed
+            changed = True
+
+    def _fold_constant_branches(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            term = block.terminator
+            if isinstance(term, CondBr) and isinstance(term.cond, Constant):
+                target = term.iftrue if term.cond.value else term.iffalse
+                dead = term.iffalse if term.cond.value else term.iftrue
+                block.remove(term)
+                new_term = Br(target)
+                new_term.debug_loc = term.debug_loc
+                block.append(new_term)
+                if dead is not target:
+                    self._remove_phi_arms(dead, block)
+                changed = True
+        return changed
+
+    def _remove_unreachable(self, fn: Function) -> bool:
+        reachable = reachable_blocks(fn)
+        dead = [b for b in fn.blocks if b not in reachable]
+        if not dead:
+            return False
+        dead_set = {id(b) for b in dead}
+        for block in fn.blocks:
+            if id(block) in dead_set:
+                continue
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    inst.incoming = [
+                        (v, b) for v, b in inst.incoming if id(b) not in dead_set
+                    ]
+                    inst.operands = [v for v, _ in inst.incoming]
+        fn.blocks = [b for b in fn.blocks if id(b) not in dead_set]
+        return True
+
+    def _merge_blocks(self, fn: Function) -> bool:
+        preds = predecessor_map(fn)
+        for block in fn.blocks:
+            term = block.terminator
+            if not isinstance(term, Br):
+                continue
+            succ = term.target
+            if succ is block or succ is fn.entry:
+                continue
+            if len(preds[succ]) != 1:
+                continue
+            if any(isinstance(i, Phi) for i in succ.instructions):
+                continue
+            # Merge succ into block.
+            block.remove(term)
+            for inst in list(succ.instructions):
+                succ.remove(inst)
+                inst.parent = block
+                block.instructions.append(inst)
+            # Phi arms elsewhere referring to succ now come from block.
+            for other in fn.blocks:
+                for inst in other.instructions:
+                    if isinstance(inst, Phi):
+                        inst.incoming = [
+                            (v, block if b is succ else b)
+                            for v, b in inst.incoming
+                        ]
+            fn.blocks.remove(succ)
+            return True
+        return False
+
+    @staticmethod
+    def _remove_phi_arms(target, pred) -> None:
+        for inst in target.instructions:
+            if isinstance(inst, Phi):
+                inst.incoming = [
+                    (v, b) for v, b in inst.incoming if b is not pred
+                ]
+                inst.operands = [v for v, _ in inst.incoming]

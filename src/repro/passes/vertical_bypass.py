@@ -1,0 +1,81 @@
+"""Vertical cache bypassing (Xie et al. [55], Section 4.2-D's
+comparison point).
+
+Where *horizontal* bypassing restricts which **warps** may use L1,
+*vertical* bypassing restricts which **static load/store instructions**
+may: selected sites are rewritten to the ``.cg`` cache operator (bypass
+L1 for every warp). The paper characterizes it as "more fine-grained
+but requires architectural and runtime information to evaluate every
+individual load" -- exactly what CUDAAdvisor's per-site reuse analysis
+(:func:`repro.analysis.reuse_distance.site_reuse_analysis`) provides;
+:func:`plan_vertical_bypass` turns that analysis into the site list.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Dict, Set, Tuple
+
+from repro.ir.instructions import CacheOp, Load, Store
+from repro.ir.module import Function, Module
+from repro.ir.types import AddressSpace, PointerType
+from repro.passes.manager import FunctionPass
+
+Site = Tuple[int, int]  # (line, col) from debug info
+
+
+class VerticalBypassPass(FunctionPass):
+    """Rewrite the selected source sites to bypass L1 (``.cg``)."""
+
+    name = "vertical-bypass"
+
+    def __init__(self, sites: Collection[Site]):
+        self.sites: Set[Site] = set(sites)
+
+    def run_on_function(self, module: Module, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if not isinstance(inst, (Load, Store)):
+                    continue
+                ptype = inst.pointer.type
+                if not (
+                    isinstance(ptype, PointerType)
+                    and ptype.addrspace == AddressSpace.GLOBAL
+                ):
+                    continue
+                loc = inst.debug_loc
+                if loc is None or (loc.line, loc.col) not in self.sites:
+                    continue
+                if inst.cache_op == CacheOp.CACHE_ALL:
+                    inst.cache_op = CacheOp.CACHE_GLOBAL
+                    changed = True
+        return changed
+
+
+def plan_vertical_bypass(
+    site_histograms: Dict[Site, "object"],
+    no_reuse_threshold: float = 0.7,
+    min_samples: int = 8,
+    capacity_lines: int = None,
+) -> Set[Site]:
+    """Pick the sites whose accesses L1 cannot serve anyway.
+
+    ``site_histograms`` comes from
+    :func:`repro.analysis.reuse_distance.site_reuse_analysis`. A site
+    bypasses when at least ``no_reuse_threshold`` of its (sufficiently
+    many) samples are uncacheable: never reused at all, or -- when
+    ``capacity_lines`` is given -- reused only at distances beyond that
+    capacity (the stack-distance criterion: such reads miss regardless,
+    so caching them merely pollutes L1).
+    """
+    plan: Set[Site] = set()
+    for site, hist in site_histograms.items():
+        if hist.samples < min_samples:
+            continue
+        if capacity_lines is not None:
+            uncacheable = hist.fraction_beyond(capacity_lines)
+        else:
+            uncacheable = hist.no_reuse_fraction
+        if uncacheable >= no_reuse_threshold:
+            plan.add(site)
+    return plan

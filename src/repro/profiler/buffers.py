@@ -1,0 +1,43 @@
+"""The device-resident trace buffer.
+
+"CUDAAdvisor stores this trace in a buffer located in GPU's global
+memory" (Section 4.2-A); at kernel exit the buffer is copied to the
+host. :class:`DeviceTraceBuffer` models that: appends during the kernel
+(with an optional capacity, after which entries are dropped and counted,
+like a real fixed-size device buffer), then ``drain()`` at kernel end
+hands the entries to the host-side profile.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class DeviceTraceBuffer(Generic[T]):
+    """Bounded append-only event buffer."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self._entries: List[T] = []
+        self.dropped = 0
+        self.total_appended = 0
+
+    def append(self, entry: T) -> bool:
+        """Append; returns False (and counts a drop) when full."""
+        self.total_appended += 1
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._entries.append(entry)
+        return True
+
+    def drain(self) -> List[T]:
+        """The device-to-host copy at kernel exit; empties the buffer."""
+        entries = self._entries
+        self._entries = []
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,103 @@
+"""Code-centric profiling: call paths and their presentation.
+
+Each warp keeps a shadow stack of (function-id, call-site line/col)
+entries, pushed/popped by the mandatory ``cupr.push``/``cupr.pop``
+hooks. Paths are interned in a :class:`CallPathRegistry` so trace
+entries carry a small integer. :func:`format_code_centric_view` renders
+the Figure 8 output: the host path (CPU rows) concatenated with the GPU
+path down to the monitored instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.host.shadow_stack import HostFrame
+from repro.ir.module import Function
+
+
+@dataclass(frozen=True)
+class GPUPathEntry:
+    """One shadow-stack entry on the device."""
+
+    function_id: int
+    line: int  # call-site line (0 for the kernel root)
+    col: int
+
+
+class CallPathRegistry:
+    """Interns GPU call paths (tuples of :class:`GPUPathEntry`)."""
+
+    def __init__(self):
+        self._ids: Dict[Tuple[GPUPathEntry, ...], int] = {}
+        self._paths: List[Tuple[GPUPathEntry, ...]] = []
+
+    def intern(self, path: Tuple[GPUPathEntry, ...]) -> int:
+        path_id = self._ids.get(path)
+        if path_id is None:
+            path_id = len(self._paths)
+            self._ids[path] = path_id
+            self._paths.append(path)
+        return path_id
+
+    def path(self, path_id: int) -> Tuple[GPUPathEntry, ...]:
+        return self._paths[path_id]
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+
+def describe_gpu_path(
+    path: Sequence[GPUPathEntry],
+    functions_by_id: Sequence[Function],
+) -> List[str]:
+    """Human-readable GPU path rows: ``Kernel():: file: line``."""
+    rows = []
+    for i, entry in enumerate(path):
+        fn = functions_by_id[entry.function_id]
+        filename, def_line = _function_source(fn)
+        # The row shows the *call site* that entered this function; the
+        # kernel root (line 0) shows its definition line instead.
+        line = entry.line if entry.line else def_line
+        rows.append(f"{fn.name}():: {filename}: {line}")
+    return rows
+
+
+def _function_source(fn: Function) -> Tuple[str, int]:
+    for block in fn.blocks:
+        for inst in block.instructions:
+            loc = inst.debug_loc
+            if loc is not None and loc.is_known:
+                return loc.filename, loc.line
+    return "<unknown>", 0
+
+
+def format_code_centric_view(
+    host_path: Sequence[HostFrame],
+    gpu_path: Sequence[GPUPathEntry],
+    functions_by_id: Sequence[Function],
+    leaf: str,
+) -> str:
+    """Render the Figure 8 view: CPU rows, then GPU rows, then the leaf.
+
+    Example output::
+
+        CPU  0: main():: <program>: 0
+             1: run_bfs():: bfs.py: 57
+        GPU  2: bfs_kernel():: bfs.py: 217
+             3: (memory access):: bfs.py: 33
+    """
+    rows: List[str] = []
+    index = 0
+    for i, frame in enumerate(host_path):
+        prefix = "CPU " if i == 0 else "    "
+        rows.append(f"{prefix}{index}: {frame}")
+        index += 1
+    gpu_rows = describe_gpu_path(gpu_path, functions_by_id)
+    for i, row in enumerate(gpu_rows):
+        prefix = "GPU " if i == 0 else "    "
+        rows.append(f"{prefix}{index}: {row}")
+        index += 1
+    rows.append(f"    {index}: (monitored instruction):: {leaf}")
+    return "\n".join(rows)

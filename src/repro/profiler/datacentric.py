@@ -1,0 +1,103 @@
+"""Data-centric profiling: from device addresses to data objects.
+
+Implements Figure 3 of the paper: two allocation maps (host, device)
+joined through interposed ``cudaMemcpy`` records. ``resolve`` maps any
+device address observed in a kernel trace to the device data object it
+belongs to, and -- when a transfer connected them -- to its host
+counterpart, each with its allocation call path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.host.allocator import HostBuffer
+from repro.host.runtime import DeviceAllocationRecord, MemcpyKind, MemcpyRecord
+from repro.host.shadow_stack import HostFrame
+
+
+@dataclass
+class DataObjectView:
+    """The resolved provenance of one device address (Figure 9)."""
+
+    device_addr: int
+    device: Optional[DeviceAllocationRecord]
+    host: Optional[HostBuffer]
+    transfer: Optional[MemcpyRecord]
+
+    def render(self) -> str:
+        """The Figure 9 presentation."""
+        lines: List[str] = []
+        if self.device is None:
+            return f"address {self.device_addr:#x}: no device allocation found"
+        offset = self.device_addr - self.device.base
+        lines.append(
+            f"device object {self.device.name!r} "
+            f"(cudaMalloc at {self.device.site}), offset {offset}"
+        )
+        for i, frame in enumerate(self.device.call_path):
+            lines.append(f"    {i}: {frame}")
+        if self.transfer is not None:
+            lines.append(
+                f"  <- cudaMemcpy {self.transfer.kind.value} of "
+                f"{self.transfer.nbytes} bytes at {self.transfer.site}"
+            )
+        if self.host is not None:
+            lines.append(
+                f"  <- host object {self.host.name!r} "
+                f"(malloc at {self.host.site})"
+            )
+            for i, frame in enumerate(self.host.call_path):
+                lines.append(f"    {i}: {frame}")
+        return "\n".join(lines)
+
+
+class DataCentricMap:
+    """The joined host/device allocation maps of one session."""
+
+    def __init__(
+        self,
+        device_allocations: Sequence[DeviceAllocationRecord],
+        host_buffers: Sequence[HostBuffer],
+        memcpys: Sequence[MemcpyRecord],
+    ):
+        self.device_allocations = list(device_allocations)
+        self.host_buffers = list(host_buffers)
+        self.memcpys = list(memcpys)
+
+    def find_device(self, addr: int) -> Optional[DeviceAllocationRecord]:
+        for record in self.device_allocations:
+            if record.base <= addr < record.end:
+                return record
+        return None
+
+    def find_host(self, addr: int) -> Optional[HostBuffer]:
+        for buf in self.host_buffers:
+            if buf.addr <= addr < buf.end:
+                return buf
+        return None
+
+    def transfer_for(self, device_addr: int) -> Optional[MemcpyRecord]:
+        """The (latest) HtoD transfer covering this device address."""
+        found = None
+        for record in self.memcpys:
+            if record.kind != MemcpyKind.HOST_TO_DEVICE:
+                continue
+            if record.device_addr <= device_addr < record.device_addr + record.nbytes:
+                found = record
+        return found
+
+    def resolve(self, device_addr: int) -> DataObjectView:
+        device = self.find_device(device_addr)
+        transfer = self.transfer_for(device_addr)
+        host = None
+        if transfer is not None and transfer.host_addr:
+            offset = device_addr - transfer.device_addr
+            host = self.find_host(transfer.host_addr + offset)
+        return DataObjectView(
+            device_addr=device_addr,
+            device=device,
+            host=host,
+            transfer=transfer,
+        )

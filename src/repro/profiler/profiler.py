@@ -1,0 +1,219 @@
+"""The per-launch hook runtime and the resulting kernel profile.
+
+One :class:`HookRuntime` exists per kernel launch (the paper's "online
+component ... invoked at the end of each kernel instance"). During the
+launch it receives every hook call from the interpreter; at kernel exit
+(`kernel_end`) it drains the device trace buffers into an immutable
+:class:`KernelProfile` that the analyzers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ProfilerError
+from repro.host.shadow_stack import HostFrame
+from repro.profiler.buffers import DeviceTraceBuffer
+from repro.profiler.codecentric import CallPathRegistry, GPUPathEntry
+from repro.profiler.records import (
+    ArithRecord,
+    BlockRecord,
+    MemoryAccessRecord,
+    MemoryOp,
+)
+
+
+@dataclass
+class KernelProfile:
+    """Everything collected for one kernel instance."""
+
+    kernel: str
+    host_call_path: Tuple[HostFrame, ...]
+    launch_site: str
+    grid: Tuple[int, int, int]
+    block: Tuple[int, int, int]
+    num_ctas: int
+    warps_per_cta: int
+    memory_records: List[MemoryAccessRecord]
+    block_records: List[BlockRecord]
+    arith_records: List[ArithRecord]
+    call_paths: CallPathRegistry
+    functions_by_id: list
+    dropped_records: int
+    launch_result: object = None  # LaunchResult, attached at kernel_end
+
+    # -- convenience -----------------------------------------------------------
+    def memory_records_by_cta(self) -> Dict[int, List[MemoryAccessRecord]]:
+        """Regroup the trace per CTA (the paper's reuse-distance prep)."""
+        grouped: Dict[int, List[MemoryAccessRecord]] = {}
+        for record in self.memory_records:
+            grouped.setdefault(record.cta, []).append(record)
+        return grouped
+
+
+class HookRuntime:
+    """Receives instrumented-call events for one launch."""
+
+    def __init__(
+        self,
+        image,
+        kernel: str,
+        host_call_path: Tuple[HostFrame, ...],
+        launch_site: str,
+        buffer_capacity: Optional[int] = None,
+        sample_rate: int = 1,
+    ):
+        if sample_rate < 1:
+            raise ProfilerError("sample_rate must be >= 1")
+        self.image = image
+        self.kernel = kernel
+        self.host_call_path = host_call_path
+        self.launch_site = launch_site
+        #: record every Nth memory/arith event (the paper's Section 5
+        #: overhead-reduction direction); call-path and block events are
+        #: never sampled (the shadow stacks must stay exact).
+        self.sample_rate = sample_rate
+        self._sample_counter = 0
+
+        self.memory_buffer: DeviceTraceBuffer = DeviceTraceBuffer(buffer_capacity)
+        self.block_buffer: DeviceTraceBuffer = DeviceTraceBuffer(buffer_capacity)
+        self.arith_buffer: DeviceTraceBuffer = DeviceTraceBuffer(buffer_capacity)
+        self.call_paths = CallPathRegistry()
+
+        self._seq = 0
+        self._launch_info: Optional[dict] = None
+        #: per-warp shadow stacks: global warp id -> list[GPUPathEntry]
+        self._warp_stacks: Dict[int, List[GPUPathEntry]] = {}
+        self._root_entry: Optional[GPUPathEntry] = None
+        self.profile: Optional[KernelProfile] = None
+        self.on_complete = None  # callable(profile), set by the session
+
+    # -- interpreter-facing API -----------------------------------------------------
+    def kernel_begin(self, launch_info: dict) -> None:
+        self._launch_info = launch_info
+        kernel_id = self.image.function_ids[self.kernel]
+        self._root_entry = GPUPathEntry(kernel_id, 0, 0)
+
+    def dispatch(self, name: str, args, mask, warp, ctx) -> None:
+        if name == "Record":
+            self._on_record(args, mask, warp)
+        elif name == "passBasicBlock":
+            self._on_block(args, mask, warp)
+        elif name == "RecordArith":
+            self._on_arith(args, mask, warp)
+        elif name == "cupr.push":
+            self._on_push(args, warp)
+        elif name == "cupr.pop":
+            self._on_pop(warp)
+        else:
+            raise ProfilerError(f"unknown hook @{name}")
+
+    def kernel_end(self, launch_result) -> None:
+        info = self._launch_info or {}
+        self.profile = KernelProfile(
+            kernel=self.kernel,
+            host_call_path=self.host_call_path,
+            launch_site=self.launch_site,
+            grid=info.get("grid", (0, 0, 0)),
+            block=info.get("block", (0, 0, 0)),
+            num_ctas=info.get("num_ctas", 0),
+            warps_per_cta=info.get("warps_per_cta", 0),
+            memory_records=self.memory_buffer.drain(),
+            block_records=self.block_buffer.drain(),
+            arith_records=self.arith_buffer.drain(),
+            call_paths=self.call_paths,
+            functions_by_id=self.image.functions_by_id,
+            dropped_records=(
+                self.memory_buffer.dropped
+                + self.block_buffer.dropped
+                + self.arith_buffer.dropped
+            ),
+            launch_result=launch_result,
+        )
+        if self.on_complete is not None:
+            self.on_complete(self.profile)
+
+    # -- hook implementations ----------------------------------------------------------
+    def _current_path_id(self, warp) -> int:
+        stack = self._warp_stacks.get(warp.global_warp_id)
+        if stack is None:
+            stack = [self._root_entry]
+            self._warp_stacks[warp.global_warp_id] = stack
+        return self.call_paths.intern(tuple(stack))
+
+    def _sampled_out(self) -> bool:
+        if self.sample_rate == 1:
+            return False
+        self._sample_counter += 1
+        return (self._sample_counter - 1) % self.sample_rate != 0
+
+    def _on_record(self, args, mask, warp) -> None:
+        if self._sampled_out():
+            return
+        addrs = np.asarray(args[0])
+        if addrs.ndim == 0:
+            addrs = np.full(warp.warp_size, int(addrs), dtype=np.int64)
+        record = MemoryAccessRecord(
+            seq=self._seq,
+            cta=warp.cta_linear,
+            warp_in_cta=warp.warp_in_cta,
+            addresses=addrs.astype(np.int64, copy=True),
+            mask=mask.copy(),
+            bits=int(args[1]),
+            line=int(args[2]),
+            col=int(args[3]),
+            op=MemoryOp(int(args[4])),
+            call_path_id=self._current_path_id(warp),
+        )
+        self._seq += 1
+        self.memory_buffer.append(record)
+
+    def _on_block(self, args, mask, warp) -> None:
+        name = self.image.string_at(int(np.asarray(args[0]).flat[0]))
+        record = BlockRecord(
+            seq=self._seq,
+            cta=warp.cta_linear,
+            warp_in_cta=warp.warp_in_cta,
+            block_name=name,
+            line=int(args[1]),
+            col=int(args[2]),
+            active_lanes=int(mask.sum()),
+            resident_lanes=int(warp.resident_mask.sum()),
+            call_path_id=self._current_path_id(warp),
+        )
+        self._seq += 1
+        self.block_buffer.append(record)
+
+    def _on_arith(self, args, mask, warp) -> None:
+        if self._sampled_out():
+            return
+        opcode = self.image.string_at(int(np.asarray(args[0]).flat[0]))
+        record = ArithRecord(
+            seq=self._seq,
+            cta=warp.cta_linear,
+            warp_in_cta=warp.warp_in_cta,
+            opcode=opcode,
+            bits=int(args[1]),
+            is_float=bool(int(args[2])),
+            line=int(args[3]),
+            col=int(args[4]),
+            active_lanes=int(mask.sum()),
+            call_path_id=self._current_path_id(warp),
+        )
+        self._seq += 1
+        self.arith_buffer.append(record)
+
+    def _on_push(self, args, warp) -> None:
+        stack = self._warp_stacks.setdefault(
+            warp.global_warp_id, [self._root_entry]
+        )
+        stack.append(GPUPathEntry(int(args[0]), int(args[1]), int(args[2])))
+
+    def _on_pop(self, warp) -> None:
+        stack = self._warp_stacks.get(warp.global_warp_id)
+        if not stack or len(stack) <= 1:
+            raise ProfilerError("GPU shadow-stack underflow (unbalanced pops)")
+        stack.pop()

@@ -1,0 +1,92 @@
+"""Trace-entry types.
+
+``Record()`` "packs all the arguments along with CTA ID and thread ID
+into one entry; entries from all memory accesses form a trace" (Section
+4.2-A). A :class:`MemoryAccessRecord` is one such entry at warp
+granularity: the 32 per-lane effective addresses plus the active mask
+(equivalent information to 32 per-thread entries, at 1/32nd the cost).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class MemoryOp(enum.IntEnum):
+    """Matches the ``op`` argument of the Record hook."""
+
+    LOAD = 1
+    STORE = 2
+    ATOMIC = 3
+
+
+@dataclass
+class MemoryAccessRecord:
+    """One instrumented memory access of one warp."""
+
+    seq: int  # global collection order (the trace order)
+    cta: int  # linear CTA id
+    warp_in_cta: int
+    addresses: np.ndarray  # (warp_size,) int64 effective byte addresses
+    mask: np.ndarray  # (warp_size,) bool active lanes
+    bits: int  # access width in bits
+    line: int
+    col: int
+    op: MemoryOp
+    call_path_id: int
+
+    @property
+    def active_lanes(self) -> int:
+        return int(self.mask.sum())
+
+    @property
+    def bytes_per_lane(self) -> int:
+        return self.bits // 8
+
+    def active_addresses(self) -> np.ndarray:
+        return self.addresses[self.mask]
+
+
+@dataclass
+class BlockRecord:
+    """One instrumented basic-block entry of one warp."""
+
+    seq: int
+    cta: int
+    warp_in_cta: int
+    block_name: str  # "function:block"
+    line: int
+    col: int
+    active_lanes: int
+    resident_lanes: int
+    call_path_id: int
+
+    @property
+    def divergent(self) -> bool:
+        """Executed by a proper subset of the warp's threads."""
+        return self.active_lanes < self.resident_lanes
+
+
+@dataclass
+class ArithRecord:
+    """One instrumented arithmetic operation of one warp."""
+
+    seq: int
+    cta: int
+    warp_in_cta: int
+    opcode: str
+    bits: int
+    is_float: bool
+    line: int
+    col: int
+    active_lanes: int
+    call_path_id: int
+
+    @property
+    def lane_operations(self) -> int:
+        """Scalar operations performed (one per active lane)."""
+        return self.active_lanes

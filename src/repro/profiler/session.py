@@ -1,0 +1,79 @@
+"""The profiling session: ties runtime, device and analyzers together.
+
+A :class:`ProfilingSession` is attached to a :class:`CudaRuntime`; it
+receives every allocation/transfer event (for the data-centric map) and
+manufactures one :class:`HookRuntime` per kernel launch. Completed
+:class:`KernelProfile` objects accumulate in ``profiles``, which is what
+the offline analyzer (statistics across kernel instances, Section 3.3)
+and every case-study analysis read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.host.allocator import HostBuffer
+from repro.host.runtime import DeviceAllocationRecord, MemcpyRecord
+from repro.host.shadow_stack import HostFrame
+from repro.profiler.datacentric import DataCentricMap
+from repro.profiler.profiler import HookRuntime, KernelProfile
+
+
+class ProfilingSession:
+    """Collects profiles and interposition records for one program run."""
+
+    def __init__(self, buffer_capacity: Optional[int] = None,
+                 sample_rate: int = 1):
+        self.buffer_capacity = buffer_capacity
+        self.sample_rate = sample_rate
+        self.profiles: List[KernelProfile] = []
+        self.host_buffers: List[HostBuffer] = []
+        self.device_allocations: List[DeviceAllocationRecord] = []
+        self.memcpys: List[MemcpyRecord] = []
+        self.runtime = None
+
+    # -- runtime event sinks ----------------------------------------------------
+    def attach_runtime(self, runtime) -> None:
+        self.runtime = runtime
+
+    def on_host_malloc(self, buf: HostBuffer) -> None:
+        self.host_buffers.append(buf)
+
+    def on_cuda_malloc(self, record: DeviceAllocationRecord) -> None:
+        self.device_allocations.append(record)
+
+    def on_memcpy(self, record: MemcpyRecord) -> None:
+        self.memcpys.append(record)
+
+    def hook_runtime_for_launch(
+        self,
+        image,
+        kernel: str,
+        host_call_path: Tuple[HostFrame, ...],
+        launch_site: str,
+    ) -> HookRuntime:
+        hooks = HookRuntime(
+            image,
+            kernel,
+            host_call_path,
+            launch_site,
+            buffer_capacity=self.buffer_capacity,
+            sample_rate=self.sample_rate,
+        )
+        hooks.on_complete = self.profiles.append
+        return hooks
+
+    # -- analyzer-facing views -----------------------------------------------------
+    def data_centric_map(self) -> DataCentricMap:
+        return DataCentricMap(
+            self.device_allocations, self.host_buffers, self.memcpys
+        )
+
+    def profiles_for_kernel(self, kernel: str) -> List[KernelProfile]:
+        return [p for p in self.profiles if p.kernel == kernel]
+
+    @property
+    def last_profile(self) -> KernelProfile:
+        if not self.profiles:
+            raise IndexError("no kernel profiles collected yet")
+        return self.profiles[-1]

@@ -1,0 +1,111 @@
+"""Shared fixtures: small kernels and compiled modules.
+
+Kernels used across test modules are defined here once (the DSL needs
+real source files, and a shared fixture keeps compilation costs down).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend import (
+    compile_kernels,
+    device,
+    f32,
+    i32,
+    kernel,
+    ptr_f32,
+    ptr_i32,
+)
+from repro.gpu import Device, KEPLER_K40C
+
+
+@device
+def clampf(x: f32, lo: f32, hi: f32) -> f32:
+    if x < lo:
+        return lo
+    if x > hi:
+        return hi
+    return x
+
+
+@kernel
+def saxpy(x: ptr_f32, y: ptr_f32, a: f32, n: i32):
+    gid = ctaid_x * ntid_x + tid_x
+    if gid < n:
+        y[gid] = a * x[gid] + y[gid]
+
+
+@kernel
+def saxpy_clamped(x: ptr_f32, y: ptr_f32, a: f32, n: i32):
+    gid = ctaid_x * ntid_x + tid_x
+    if gid < n:
+        y[gid] = clampf(a * x[gid] + y[gid], -10.0, 10.0)
+
+
+@kernel
+def strided_sum(data: ptr_f32, out: ptr_f32, n: i32, stride: i32):
+    gid = ctaid_x * ntid_x + tid_x
+    acc = 0.0
+    for i in range(gid, n, ntid_x * nctaid_x):
+        acc += data[(i * stride) % n]
+    out[gid] = acc
+
+
+@kernel
+def block_reduce(data: ptr_f32, out: ptr_f32, n: i32):
+    tile = shared(f32, 64)
+    t = tid_x
+    gid = ctaid_x * ntid_x + t
+    acc = 0.0
+    for i in range(gid, n, ntid_x * nctaid_x):
+        acc += data[i]
+    tile[t] = acc
+    syncthreads()
+    s = ntid_x // 2
+    while s > 0:
+        if t < s:
+            tile[t] = tile[t] + tile[t + s]
+        syncthreads()
+        s = s // 2
+    if t == 0:
+        atomic_add(out, 0, tile[0])
+
+
+@kernel
+def divergent_kernel(data: ptr_i32, out: ptr_i32, n: i32):
+    gid = ctaid_x * ntid_x + tid_x
+    if gid < n:
+        v = data[gid]
+        if v % 2 == 0:
+            r = v * 3
+        else:
+            r = v - 7
+        k = 0
+        while k < v % 4:
+            r += k
+            k += 1
+        out[gid] = r
+
+
+KERNELS = {
+    "saxpy": saxpy,
+    "saxpy_clamped": saxpy_clamped,
+    "strided_sum": strided_sum,
+    "block_reduce": block_reduce,
+    "divergent_kernel": divergent_kernel,
+}
+
+
+@pytest.fixture
+def fresh_module():
+    """A freshly compiled, unoptimized module with every test kernel."""
+    return compile_kernels(list(KERNELS.values()), "testmod")
+
+
+@pytest.fixture
+def kepler_device():
+    return Device(KEPLER_K40C)
+
+

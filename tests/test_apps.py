@@ -1,0 +1,150 @@
+"""Tests for the Table 2 benchmark suite.
+
+Every app is compiled, optimized, executed on the simulated GPU and
+validated against its CPU reference (``check``) -- at reduced sizes so
+the whole file stays fast. Table 2 metadata is asserted, and a couple
+of paper-reported characteristics are spot-checked.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CudaRuntime, Device, KEPLER_K40C
+from repro.apps import APP_NAMES, TABLE2, app_info, build_app
+from repro.apps.common import synthetic_bfs_graph
+from repro.errors import ReproError
+from repro.frontend.dsl import compile_kernels
+from repro.passes import optimization_pipeline
+
+#: Reduced-size build arguments per app, keeping shapes legal.
+SMALL = {
+    "backprop": dict(input_units=256),
+    "bfs": dict(num_nodes=512),
+    "hotspot": dict(n=32, steps=2),
+    "lavaMD": dict(boxes1d=2, par_per_box=24),
+    "nn": dict(num_records=512),
+    "nw": dict(n=48),
+    "srad_v2": dict(n=32, iterations=1),
+    "bicg": dict(nx=64, ny=64),
+    "syrk": dict(n=32, m=32),
+    "syr2k": dict(n=32, m=32),
+}
+
+
+def _execute(name, optimize=True, **kwargs):
+    app = build_app(name, **kwargs)
+    module = compile_kernels(list(app.kernels), name)
+    if optimize:
+        optimization_pipeline().run(module)
+    dev = Device(KEPLER_K40C)
+    rt = CudaRuntime(dev)
+    image = dev.load_module(module)
+    state = app.prepare(rt)
+    results = app.run(rt, image, state)
+    return app, rt, state, results
+
+
+class TestTable2Metadata:
+    def test_all_ten_apps_present(self):
+        assert len(TABLE2) == 10
+        assert set(APP_NAMES) == {
+            "backprop", "bfs", "hotspot", "lavaMD", "nn", "nw",
+            "srad_v2", "bicg", "syrk", "syr2k",
+        }
+
+    def test_warps_per_cta_match_table2(self):
+        expected = {
+            "backprop": 8, "bfs": 16, "hotspot": 8, "lavaMD": 4, "nn": 8,
+            "nw": 1, "srad_v2": 8, "bicg": 8, "syrk": 8, "syr2k": 8,
+        }
+        for name, warps in expected.items():
+            assert app_info(name).warps_per_cta == warps
+            assert build_app(name).warps_per_cta == warps
+
+    def test_sources_match_table2(self):
+        polybench = {"bicg", "syrk", "syr2k"}
+        for info in TABLE2:
+            expected = "Polybench" if info.name in polybench else "Rodinia"
+            assert info.source == expected
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ReproError, match="unknown app"):
+            build_app("doom")
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_runs_and_validates(name):
+    app, rt, state, results = _execute(name, **SMALL[name])
+    assert results, f"{name} produced no launches"
+    assert app.check(rt, state), f"{name} output mismatch vs CPU reference"
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_launch_geometry(name):
+    app, rt, state, results = _execute(name, **SMALL[name])
+    for result in results:
+        assert result.warps_per_cta == app.warps_per_cta
+
+
+class TestBFSGraph:
+    def test_generator_structure(self):
+        g = synthetic_bfs_graph(128, degree=6, seed=3)
+        assert g.num_nodes == 128
+        assert (g.num_edges == 6).all()
+        assert len(g.edges) == 128 * 6
+        assert g.edges.min() >= 0 and g.edges.max() < 128
+
+    def test_cpu_bfs_reaches_everything(self):
+        g = synthetic_bfs_graph(64, seed=1)
+        costs = g.cpu_bfs_costs()
+        assert (costs >= 0).all()  # ring edge guarantees connectivity
+        assert costs[g.source] == 0
+
+    def test_gpu_matches_cpu_on_multiple_seeds(self):
+        for seed in (1, 2, 3):
+            app = build_app("bfs", num_nodes=256, seed=seed)
+            module = compile_kernels(list(app.kernels), f"bfs{seed}")
+            optimization_pipeline().run(module)
+            dev = Device(KEPLER_K40C)
+            rt = CudaRuntime(dev)
+            image = dev.load_module(module)
+            state = app.prepare(rt)
+            app.run(rt, image, state)
+            assert app.check(rt, state)
+
+
+class TestPaperCharacteristics:
+    """Spot checks of Table 3 / Figure 4/5 qualitative facts at small
+    scale (the full-size versions live in benchmarks/)."""
+
+    def _profile(self, name, modes=("memory", "blocks"), **kwargs):
+        from repro.optim.advisor import CUDAAdvisor
+
+        advisor = CUDAAdvisor(
+            arch=KEPLER_K40C, modes=modes, measure_overhead=False
+        )
+        return advisor.profile(build_app(name, **kwargs))
+
+    def test_bicg_has_zero_branch_divergence(self):
+        report = self._profile("bicg", **SMALL["bicg"])
+        assert report.branch_divergence.divergence_percent == 0.0
+
+    def test_nw_is_most_divergent(self):
+        nw = self._profile("nw", **SMALL["nw"])
+        nn = self._profile("nn", **SMALL["nn"])
+        assert (
+            nw.branch_divergence.divergence_percent
+            > nn.branch_divergence.divergence_percent
+        )
+        assert nw.branch_divergence.divergence_percent > 40.0
+
+    def test_bicg_bimodal_divergence(self):
+        report = self._profile("bicg", modes=("memory",), **SMALL["bicg"])
+        dist = report.memory_divergence.distribution
+        # Kernel 2 is coalesced (1 line), kernel 1 strided (many lines).
+        assert dist.get(1, 0) > 0.5
+        assert max(dist) >= 16
+
+    def test_nn_streaming(self):
+        report = self._profile("nn", modes=("memory",), **SMALL["nn"])
+        assert report.reuse_element.no_reuse_fraction > 0.99

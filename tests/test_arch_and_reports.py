@@ -1,0 +1,117 @@
+"""Tests for the architecture descriptors (Table 1) and text reports."""
+
+import pytest
+
+from repro.analysis.divergence_branch import BranchDivergenceProfile
+from repro.analysis.divergence_memory import MemoryDivergenceProfile
+from repro.analysis.overhead import OverheadReport
+from repro.analysis.report import (
+    render_branch_table,
+    render_bypass_table,
+    render_divergence_distribution,
+    render_reuse_histogram,
+)
+from repro.analysis.reuse_distance import (
+    ReuseDistanceHistogram,
+    ReuseDistanceModel,
+)
+from repro.gpu.arch import KEPLER_K40C, PASCAL_P100, kepler_with_l1
+from repro.profiler.records import BlockRecord
+
+
+class TestTable1:
+    def test_kepler_descriptor(self):
+        assert KEPLER_K40C.chip == "Tesla K40c"
+        assert KEPLER_K40C.compute_capability == "3.5"
+        assert KEPLER_K40C.cuda_version == "7.0"
+        assert KEPLER_K40C.driver_version == "361.93"
+        assert KEPLER_K40C.l1_line_size == 128
+        assert KEPLER_K40C.num_sms == 15
+        assert not KEPLER_K40C.l1_write_allocate
+
+    def test_pascal_descriptor(self):
+        assert PASCAL_P100.chip == "Tesla P100"
+        assert PASCAL_P100.compute_capability == "6.0"
+        assert PASCAL_P100.cuda_version == "8.0"
+        assert PASCAL_P100.driver_version == "375.20"
+        assert PASCAL_P100.l1_line_size == 32  # 32B sectors
+        assert PASCAL_P100.l1_size == 24 * 1024  # unified L1/Tex
+
+    def test_kepler_l1_configurations(self):
+        """Kepler's L1/shared split: 16, 32 or 48 KB."""
+        assert kepler_with_l1(16).l1_size == 16 * 1024
+        assert kepler_with_l1(32).l1_size == 32 * 1024
+        assert kepler_with_l1(48).l1_size == 48 * 1024
+        with pytest.raises(ValueError):
+            kepler_with_l1(24)
+
+    def test_derived_geometry(self):
+        assert KEPLER_K40C.l1_num_lines == 128
+        assert KEPLER_K40C.l1_num_sets == 32
+        resized = KEPLER_K40C.with_l1_size(4096)
+        assert resized.l1_num_lines == 32
+        assert KEPLER_K40C.l1_size == 16 * 1024  # frozen original
+
+
+class TestReports:
+    def test_reuse_histogram_rendering(self):
+        h = ReuseDistanceHistogram(model=ReuseDistanceModel.ELEMENT)
+        for d in (0, 0, 5, 600, -1):
+            h.add_sample(d)
+        text = render_reuse_histogram("syrk", h)
+        assert "syrk" in text
+        assert ">512" in text
+        assert "inf" in text
+        assert "40.0%" in text  # two of five samples at distance 0
+
+    def test_divergence_rendering(self):
+        md = MemoryDivergenceProfile(line_size=128)
+        md.add(1)
+        md.add(32)
+        text = render_divergence_distribution("bicg", md)
+        assert "bicg" in text
+        assert "degree = 16.50" in text
+        assert "32 lines" in text
+
+    def test_branch_table_rendering(self):
+        def make(div, total):
+            p = BranchDivergenceProfile()
+            for i in range(total):
+                p.add(BlockRecord(
+                    seq=i, cta=0, warp_in_cta=0, block_name="k:b",
+                    line=1, col=1,
+                    active_lanes=(1 if i < div else 32),
+                    resident_lanes=32, call_path_id=0,
+                ))
+            return p
+
+        text = render_branch_table({"nw": make(7, 10), "bicg": make(0, 4)})
+        assert "nw" in text and "bicg" in text
+        assert "70.00%" in text
+        assert "0.00%" in text
+
+    def test_bypass_table_rendering(self):
+        text = render_bypass_table(
+            "Kepler 16KB",
+            [("syrk", 0.63, 0.63, 1, 1), ("bfs", 1.0, 1.05, 16, 1)],
+        )
+        assert "Kepler 16KB" in text
+        assert "syrk" in text
+
+    def test_overhead_report(self):
+        class R:
+            def __init__(self, cycles, instructions, wall):
+                self.cycles = cycles
+                self.instructions = instructions
+                self.wall_seconds = wall
+
+        report = OverheadReport(
+            app="syrk", arch="Kepler", modes=("memory",),
+            baseline_cycles=100, instrumented_cycles=4200,
+            baseline_instructions=10, instrumented_instructions=35,
+            baseline_wall=1.0, instrumented_wall=3.0,
+        )
+        assert report.cycle_overhead == pytest.approx(42.0)
+        assert report.instruction_overhead == pytest.approx(3.5)
+        assert report.wall_overhead == pytest.approx(3.0)
+        assert "42.0x" in report.render()

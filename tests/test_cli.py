@@ -1,0 +1,89 @@
+"""Tests for the CLI (the artifact's run/showoutput workflow)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_table2(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("backprop", "bfs", "nw", "syr2k"):
+            assert name in out
+        assert "graph1MW_6.txt" in out  # paper inputs shown
+
+
+class TestProfile:
+    def test_profile_modes_sections(self, capsys):
+        code = main([
+            "profile", "nn", "--modes", "memory,blocks", "--no-overhead",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "### RD_mode" in out
+        assert "### MD_mode" in out
+        assert "### BD_mode" in out
+        assert "### advice" in out
+        assert "### overhead" not in out
+
+    def test_profile_with_overhead(self, capsys):
+        assert main(["profile", "nn", "--modes", "memory"]) == 0
+        out = capsys.readouterr().out
+        assert "### overhead" in out
+        assert "x cycles" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "doom"])
+
+
+class TestPTX:
+    def test_ptx_dump(self, capsys):
+        assert main(["ptx", "nn", "--cc", "6.0"]) == 0
+        out = capsys.readouterr().out
+        assert ".target sm_60" in out
+        assert ".visible .entry euclid(" in out
+
+
+class TestJSON:
+    def test_json_report_round_trips(self, capsys):
+        import json
+
+        assert main([
+            "profile", "nn", "--modes", "memory,blocks", "--no-overhead",
+            "--json",
+        ]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert data["program"] == "nn"
+        assert data["arch"]["chip"] == "Tesla K40c"
+        assert 0 <= data["reuse_element"]["no_reuse_fraction"] <= 1
+        assert data["branch_divergence"]["total_blocks"] > 0
+        assert data["bypass_prediction"]["warps_per_cta"] == 8
+        assert isinstance(data["advice"], list) and data["advice"]
+
+
+class TestInstrument:
+    def test_dumps_instrumented_ir(self, capsys):
+        assert main(["instrument", "nn", "--modes", "memory,blocks"]) == 0
+        out = capsys.readouterr().out
+        assert "call void @Record(i8* " in out
+        assert "call void @passBasicBlock(" in out
+        assert "define kernel void @euclid(" in out
+
+    def test_no_optimize_keeps_allocas(self, capsys):
+        assert main(["instrument", "nn", "--no-optimize"]) == 0
+        out = capsys.readouterr().out
+        assert "alloca" in out
+
+
+class TestStatisticsSection:
+    def test_multi_instance_stats_shown(self, capsys):
+        assert main([
+            "profile", "srad_v2", "--modes", "memory", "--no-overhead",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "### per-call-path statistics" in out
+        assert "srad_cuda_1" in out
+        assert "srad_cuda_2" in out

@@ -1,0 +1,91 @@
+"""Edge cases of the data-centric map: repeated transfers, partial
+copies, device-to-host-only objects."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device, KEPLER_K40C
+from repro.host import CudaRuntime, MemcpyKind
+from repro.profiler import ProfilingSession
+
+
+@pytest.fixture
+def rt():
+    session = ProfilingSession()
+    return CudaRuntime(Device(KEPLER_K40C), profiler=session), session
+
+
+class TestTransferResolution:
+    def test_latest_transfer_wins(self, rt):
+        """A buffer refilled from a different host object must resolve to
+        the most recent HtoD copy (the paper's data-flow reconstruction
+        follows the object's lifetime)."""
+        runtime, session = rt
+        a = runtime.host_malloc(8, np.float32, "h_a")
+        b = runtime.host_malloc(8, np.float32, "h_b")
+        d = runtime.cuda_malloc(32, "d_x")
+        runtime.cuda_memcpy_htod(d, a)
+        runtime.cuda_memcpy_htod(d, b)
+        view = session.data_centric_map().resolve(d.addr + 4)
+        assert view.host is b
+
+    def test_partial_transfer_offsets(self, rt):
+        """Transfers into a sub-range only cover their bytes."""
+        runtime, session = rt
+        h = runtime.host_malloc(4, np.float32, "h_part")
+        d = runtime.cuda_malloc(64, "d_big")
+        runtime.cuda_memcpy_htod(d.offset(16), h)
+        dc = session.data_centric_map()
+        covered = dc.resolve(d.addr + 20)
+        uncovered = dc.resolve(d.addr + 4)
+        assert covered.transfer is not None
+        assert covered.host is h
+        assert uncovered.transfer is None
+        assert uncovered.host is None
+        # Both addresses still resolve to the same device object.
+        assert covered.device is uncovered.device
+
+    def test_offset_inside_host_object(self, rt):
+        runtime, session = rt
+        h = runtime.host_malloc(16, np.float32, "h_x")
+        d = runtime.cuda_malloc(64, "d_x")
+        runtime.cuda_memcpy_htod(d, h)
+        view = session.data_centric_map().resolve(d.addr + 40)
+        # Device offset 40 maps to host offset 40 of the same buffer.
+        assert view.host is h
+
+    def test_dtoh_never_used_for_provenance(self, rt):
+        """Reading results back (DtoH) must not make the destination
+        look like the *source* of the device data."""
+        runtime, session = rt
+        h_in = runtime.host_malloc(8, np.float32, "h_in")
+        h_out = runtime.host_malloc(8, np.float32, "h_out")
+        d = runtime.cuda_malloc(32, "d_x")
+        runtime.cuda_memcpy_htod(d, h_in)
+        runtime.cuda_memcpy_dtoh(h_out, d)
+        view = session.data_centric_map().resolve(d.addr)
+        assert view.host is h_in
+
+    def test_device_only_object(self, rt):
+        """A scratch buffer never touched by memcpy has no host
+        counterpart, but its allocation call path still renders."""
+        runtime, session = rt
+        d = runtime.cuda_malloc(128, "d_scratch")
+        view = session.data_centric_map().resolve(d.addr + 8)
+        assert view.device is not None
+        assert view.host is None
+        assert view.transfer is None
+        assert "d_scratch" in view.render()
+
+
+class TestKindBookkeeping:
+    def test_kinds_recorded(self, rt):
+        runtime, session = rt
+        h = runtime.host_malloc(8, np.float32, "h")
+        d = runtime.cuda_malloc(32, "d")
+        runtime.cuda_memcpy_htod(d, h)
+        runtime.cuda_memcpy_dtoh(h, d)
+        kinds = [r.kind for r in session.memcpys]
+        assert kinds == [
+            MemcpyKind.HOST_TO_DEVICE, MemcpyKind.DEVICE_TO_HOST,
+        ]

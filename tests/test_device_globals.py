@@ -1,0 +1,67 @@
+"""Tests for module-level device globals (__device__ arrays) and the
+constant-string arena."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.gpu import Device, KEPLER_K40C
+from repro.ir import F32, I32, IRBuilder, Module, VOID, ptr, verify_module
+from repro.ir.types import AddressSpace
+from repro.ir.values import GlobalVariable
+
+
+def _module_with_lut():
+    m = Module("g", target="nvptx")
+    lut = GlobalVariable("lut", F32, 4, AddressSpace.GLOBAL,
+                         initializer=[1.5, 2.5, 3.5, 4.5])
+    m.add_global(lut)
+    fn = m.add_function("k", VOID, [(ptr(F32), "out")], kind="kernel")
+    b = IRBuilder.at_end(fn.add_block("entry"))
+    tid = m.declare_function("nvvm.tid.x", I32, [], kind="intrinsic")
+    lane = b.call(tid, [], "lane")
+    idx = b.srem(lane, b.i32(4), "idx")
+    src = b.gep(lut, idx)
+    v = b.load(src)
+    dst = b.gep(fn.args[0], lane)
+    b.store(v, dst)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+class TestDeviceGlobals:
+    def test_initialized_global_readable(self):
+        dev = Device(KEPLER_K40C)
+        img = dev.load_module(_module_with_lut())
+        out = dev.malloc(4 * 32)
+        dev.launch(img, "k", 1, 32, [out])
+        data = dev.memcpy_dtoh(out, np.float32, 32)
+        expected = np.tile([1.5, 2.5, 3.5, 4.5], 8).astype(np.float32)
+        assert np.array_equal(data, expected)
+
+    def test_global_gets_real_device_address(self):
+        dev = Device(KEPLER_K40C)
+        img = dev.load_module(_module_with_lut())
+        lut = img.module.globals["lut"]
+        addr = img.address_of(lut)
+        raw = dev.memory.read_bytes(addr, 16).view(np.float32)
+        assert np.array_equal(raw, [1.5, 2.5, 3.5, 4.5])
+
+
+class TestConstantArena:
+    def test_string_lookup(self):
+        m = _module_with_lut()
+        s = m.add_string("hello:world")
+        dev = Device(KEPLER_K40C)
+        img = dev.load_module(m)
+        addr = img.address_of(s)
+        assert img.string_at(addr) == "hello:world"
+        # Offsets into the string resolve to its suffix.
+        assert img.string_at(addr + 6) == "world"
+
+    def test_unknown_address_rejected(self):
+        dev = Device(KEPLER_K40C)
+        img = dev.load_module(_module_with_lut())
+        with pytest.raises(ExecutionError, match="no constant string"):
+            img.string_at(0x7FFFFFFF)

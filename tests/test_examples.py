@@ -1,0 +1,45 @@
+"""Smoke tests: the fast example scripts must run and produce their
+headline output (the slower bypassing example is exercised indirectly
+through benchmarks/bench_fig06_bypass_kepler.py)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "CUDAAdvisor says:" in out
+    assert "Memory divergence" in out
+    assert "horizontal cache bypassing" in out
+
+
+def test_memory_divergence_tour():
+    out = _run("memory_divergence_tour.py")
+    assert "particles_aos" in out
+    assert "particles_soa" in out
+    assert "Kepler (128-byte cache lines)" in out
+    assert "Pascal (32-byte cache lines)" in out
+    # The SoA fix collapses the Kepler distribution to degree 1.00.
+    assert "particles_soa, 192 warp instructions, degree = 1.00" in out
+
+
+def test_pc_sampling_example():
+    out = _run("pc_sampling_vs_instrumentation.py")
+    assert "line coverage" in out
+    assert "100.0%" in out  # period-1 sampling reaches full coverage

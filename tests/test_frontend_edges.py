@@ -1,0 +1,159 @@
+"""Additional frontend edge cases and rejection paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend import (
+    compile_kernels,
+    f32,
+    i32,
+    kernel,
+    ptr_f32,
+    ptr_i32,
+)
+from repro.gpu import Device, KEPLER_K40C
+
+CAPTURED_SIZE = 48  # captured module-level constant
+CAPTURED_SCALE = 2.5
+
+
+def _run(k, out_count, args, dtype=np.int32, block=32):
+    module = compile_kernels([k], k.name)
+    dev = Device(KEPLER_K40C)
+    img = dev.load_module(module)
+    out = dev.malloc(int(np.dtype(dtype).itemsize) * out_count)
+    dev.launch(img, k.name, 1, block, [out] + list(args))
+    return dev.memcpy_dtoh(out, dtype, out_count)
+
+
+class TestCapturedConstants:
+    def test_int_and_float_capture(self):
+        @kernel
+        def k(out: ptr_f32):
+            t = tid_x
+            if t == 0:
+                out[0] = CAPTURED_SIZE * CAPTURED_SCALE
+
+        out = _run(k, 1, [], dtype=np.float32)
+        assert out[0] == pytest.approx(48 * 2.5)
+
+    def test_captured_constant_in_shared_size(self):
+        @kernel
+        def k(out: ptr_f32):
+            tile = shared(f32, CAPTURED_SIZE)
+            t = tid_x
+            tile[t] = float(t)
+            syncthreads()
+            out[t] = tile[(t + 1) % CAPTURED_SIZE]
+
+        module = compile_kernels([k], "m")
+        assert module.globals["k.tile"].count == CAPTURED_SIZE
+
+
+class TestLocalArrays:
+    def test_local_array_roundtrip(self):
+        @kernel
+        def k(out: ptr_i32):
+            buf = local(i32, 8)
+            t = tid_x
+            for i in range(8):
+                buf[i] = t * 10 + i
+            acc = 0
+            for i in range(8):
+                acc += buf[i]
+            out[t] = acc
+
+        out = _run(k, 32, [])
+        expected = [sum(t * 10 + i for i in range(8)) for t in range(32)]
+        assert list(out) == expected
+
+
+class TestAnnAssign:
+    def test_annotated_declaration(self):
+        @kernel
+        def k(out: ptr_f32):
+            t = tid_x
+            x: f32 = t  # explicit widening declaration
+            out[t] = x * 0.5
+
+        out = _run(k, 32, [], dtype=np.float32)
+        assert np.allclose(out, np.arange(32) * 0.5)
+
+    def test_annotated_declaration_without_value_rejected(self):
+        def bad(out: ptr_f32):  # pragma: no cover
+            x: f32
+
+        with pytest.raises(FrontendError, match="initializer"):
+            compile_kernels([kernel(bad)], "bad")
+
+
+class TestRejections:
+    def test_float_to_int_narrowing_rejected(self):
+        def bad(out: ptr_i32):  # pragma: no cover
+            out[0] = 1.5
+
+        with pytest.raises(FrontendError, match="int"):
+            compile_kernels([kernel(bad)], "bad")
+
+    def test_reassigning_array_rejected(self):
+        def bad(x: ptr_f32, y: ptr_f32):  # pragma: no cover
+            x = y
+
+        with pytest.raises(FrontendError, match="reassign"):
+            compile_kernels([kernel(bad)], "bad")
+
+    def test_assign_to_builtin_rejected(self):
+        def bad(out: ptr_i32):  # pragma: no cover
+            tid_x = 4  # noqa: F841
+
+        with pytest.raises(FrontendError, match="builtin"):
+            compile_kernels([kernel(bad)], "bad")
+
+    def test_shared_in_expression_rejected(self):
+        def bad(out: ptr_f32):  # pragma: no cover
+            out[0] = shared(f32, 8)[0]
+
+        with pytest.raises(FrontendError, match="shared"):
+            compile_kernels([kernel(bad)], "bad")
+
+    def test_non_range_for_rejected(self):
+        def bad(out: ptr_i32):  # pragma: no cover
+            for x in (1, 2, 3):
+                out[0] = x
+
+        with pytest.raises(FrontendError, match="range"):
+            compile_kernels([kernel(bad)], "bad")
+
+    def test_chained_comparison_rejected(self):
+        def bad(out: ptr_i32, n: i32):  # pragma: no cover
+            if 0 < n < 10:
+                out[0] = 1
+
+        with pytest.raises(FrontendError, match="chained comparisons"):
+            compile_kernels([kernel(bad)], "bad")
+
+    def test_indexing_scalar_rejected(self):
+        def bad(out: ptr_i32, n: i32):  # pragma: no cover
+            out[0] = n[0]
+
+        with pytest.raises(FrontendError, match="pointer"):
+            compile_kernels([kernel(bad)], "bad")
+
+    def test_keyword_arguments_rejected(self):
+        def bad(out: ptr_f32):  # pragma: no cover
+            out[0] = fminf(a=1.0, b=2.0)
+
+        with pytest.raises(FrontendError, match="keyword"):
+            compile_kernels([kernel(bad)], "bad")
+
+    def test_while_else_rejected(self):
+        def bad(out: ptr_i32):  # pragma: no cover
+            i = 0
+            while i < 3:
+                i += 1
+            else:
+                out[0] = i
+
+        with pytest.raises(FrontendError, match="while/else"):
+            compile_kernels([kernel(bad)], "bad")

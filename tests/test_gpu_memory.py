@@ -1,0 +1,135 @@
+"""Tests for the simulated memory spaces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.gpu.memory import (
+    GLOBAL_BASE,
+    GlobalMemory,
+    LocalMemory,
+    SharedMemory,
+)
+
+
+class TestGlobalMemory:
+    def test_allocation_alignment(self):
+        mem = GlobalMemory(1 << 20)
+        a = mem.allocate(100)
+        b = mem.allocate(100)
+        assert a.base % 256 == 0
+        assert b.base % 256 == 0
+        assert b.base >= a.end
+
+    def test_zero_size_rejected(self):
+        mem = GlobalMemory(1 << 20)
+        with pytest.raises(MemoryError_):
+            mem.allocate(0)
+
+    def test_oom(self):
+        mem = GlobalMemory(1 << 12)
+        with pytest.raises(MemoryError_, match="out of memory"):
+            mem.allocate(1 << 13)
+
+    def test_double_free(self):
+        mem = GlobalMemory(1 << 20)
+        a = mem.allocate(64)
+        mem.free(a)
+        with pytest.raises(MemoryError_, match="double free"):
+            mem.free(a)
+
+    def test_write_read_roundtrip(self):
+        mem = GlobalMemory(1 << 20)
+        a = mem.allocate(64)
+        data = np.arange(16, dtype=np.float32)
+        mem.write_bytes(a.base, data)
+        back = mem.read_bytes(a.base, 64).view(np.float32)
+        assert np.array_equal(back, data)
+
+    def test_gather_scatter_typed(self):
+        mem = GlobalMemory(1 << 20)
+        a = mem.allocate(256)
+        data = np.arange(32, dtype=np.float32)
+        mem.write_bytes(a.base, data)
+        addrs = a.base + np.arange(32, dtype=np.int64)[::-1] * 4
+        mask = np.ones(32, dtype=bool)
+        got = mem.gather(addrs, mask, np.dtype(np.float32))
+        assert np.array_equal(got, data[::-1])
+
+        mem.scatter(addrs, mask, got * 2)
+        back = mem.read_bytes(a.base, 128).view(np.float32)
+        assert np.array_equal(back, data * 2)
+
+    def test_masked_lanes_untouched(self):
+        mem = GlobalMemory(1 << 20)
+        a = mem.allocate(256)
+        addrs = a.base + np.arange(32, dtype=np.int64) * 4
+        mask = np.zeros(32, dtype=bool)
+        mask[::2] = True
+        values = np.full(32, 7.0, dtype=np.float32)
+        mem.scatter(addrs, mask, values)
+        back = mem.read_bytes(a.base, 128).view(np.float32)
+        assert np.array_equal(back[::2], np.full(16, 7.0, dtype=np.float32))
+        assert np.array_equal(back[1::2], np.zeros(16, dtype=np.float32))
+
+    def test_gather_fault_on_null(self):
+        mem = GlobalMemory(1 << 20)
+        mem.allocate(64)
+        addrs = np.zeros(32, dtype=np.int64)  # NULL dereference
+        with pytest.raises(MemoryError_, match="fault"):
+            mem.gather(addrs, np.ones(32, dtype=bool), np.dtype(np.float32))
+
+    def test_gather_fault_beyond_heap(self):
+        mem = GlobalMemory(1 << 20)
+        a = mem.allocate(64)
+        addrs = np.full(32, a.end + 4096, dtype=np.int64)
+        with pytest.raises(MemoryError_):
+            mem.gather(addrs, np.ones(32, dtype=bool), np.dtype(np.float32))
+
+    def test_find_allocation(self):
+        mem = GlobalMemory(1 << 20)
+        a = mem.allocate(64, tag="x")
+        assert mem.find_allocation(a.base + 10) is a
+        assert mem.find_allocation(a.end + 1000) is None
+
+    def test_byte_granularity(self):
+        mem = GlobalMemory(1 << 20)
+        a = mem.allocate(64)
+        addrs = a.base + np.arange(32, dtype=np.int64)
+        mask = np.ones(32, dtype=bool)
+        mem.scatter(addrs, mask, np.arange(32, dtype=np.int8))
+        got = mem.gather(addrs, mask, np.dtype(np.int8))
+        assert np.array_equal(got, np.arange(32, dtype=np.int8))
+
+
+class TestSharedMemory:
+    def test_roundtrip(self):
+        shm = SharedMemory(1024)
+        addrs = np.arange(32, dtype=np.int64) * 4
+        mask = np.ones(32, dtype=bool)
+        shm.scatter(addrs, mask, np.arange(32, dtype=np.int32))
+        got = shm.gather(addrs, mask, np.dtype(np.int32))
+        assert np.array_equal(got, np.arange(32, dtype=np.int32))
+
+    def test_fault_on_overflow(self):
+        shm = SharedMemory(64)
+        addrs = np.full(32, 128, dtype=np.int64)
+        with pytest.raises(MemoryError_, match="shared memory fault"):
+            shm.gather(addrs, np.ones(32, dtype=bool), np.dtype(np.float32))
+
+
+class TestLocalMemory:
+    def test_per_lane_privacy(self):
+        lm = LocalMemory(32, 1024)
+        addrs = np.zeros(32, dtype=np.int64)  # same offset, per-lane rows
+        mask = np.ones(32, dtype=bool)
+        lm.scatter(addrs, mask, np.arange(32, dtype=np.int32))
+        got = lm.gather(addrs, mask, np.dtype(np.int32))
+        assert np.array_equal(got, np.arange(32, dtype=np.int32))
+
+    def test_stack_overflow_detected(self):
+        lm = LocalMemory(32, 64)
+        addrs = np.full(32, 256, dtype=np.int64)
+        with pytest.raises(MemoryError_, match="overflow"):
+            lm.scatter(addrs, np.ones(32, dtype=bool),
+                       np.zeros(32, dtype=np.float32))

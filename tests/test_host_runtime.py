@@ -1,0 +1,115 @@
+"""Tests for the host runtime: allocation tracking, memcpy interposition,
+launch plumbing and the data-centric records it produces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu import Device, KEPLER_K40C
+from repro.host import CudaRuntime, MemcpyKind, host_function
+from repro.host.allocator import HOST_BASE, HostAllocator
+from repro.profiler import ProfilingSession
+
+
+class TestHostAllocator:
+    def test_malloc_zeroes_and_tracks(self):
+        alloc = HostAllocator()
+        buf = alloc.malloc(16, np.float32, "a")
+        assert buf.array.shape == (16,)
+        assert (buf.array == 0).all()
+        assert buf.addr >= HOST_BASE
+        assert alloc.find(buf.addr + 8) is buf
+
+    def test_wrap_adopts_array(self):
+        alloc = HostAllocator()
+        data = np.arange(8, dtype=np.int32)
+        buf = alloc.wrap(data, "b")
+        assert buf.array is data
+        assert buf.nbytes == 32
+
+    def test_distinct_address_ranges(self):
+        alloc = HostAllocator()
+        a = alloc.malloc(100, np.uint8)
+        b = alloc.malloc(100, np.uint8)
+        assert a.end <= b.addr
+
+    def test_call_path_snapshot(self):
+        alloc = HostAllocator()
+
+        @host_function
+        def allocate():
+            return alloc.malloc(4, np.float32)
+
+        buf = allocate()
+        assert [f.function for f in buf.call_path][-1] == "allocate"
+
+
+class TestCudaRuntime:
+    def _rt(self, profiler=None):
+        return CudaRuntime(Device(KEPLER_K40C), profiler=profiler)
+
+    def test_cuda_malloc_records(self):
+        rt = self._rt()
+        d = rt.cuda_malloc(256, "d_x")
+        assert rt.device_allocations[0].name == "d_x"
+        assert rt.find_device_allocation(d.addr + 5) is not None
+        assert rt.find_device_allocation(d.addr - 1) is None
+
+    def test_memcpy_roundtrip_with_records(self):
+        rt = self._rt()
+        h = rt.host_malloc(8, np.float32, "h")
+        h.array[:] = np.arange(8)
+        d = rt.cuda_malloc(32, "d")
+        rt.cuda_memcpy_htod(d, h)
+        back = rt.host_malloc(8, np.float32, "h2")
+        rt.cuda_memcpy_dtoh(back, d)
+        assert np.array_equal(back.array, h.array)
+        kinds = [r.kind for r in rt.memcpys]
+        assert kinds == [MemcpyKind.HOST_TO_DEVICE, MemcpyKind.DEVICE_TO_HOST]
+        assert rt.memcpys[0].nbytes == 32
+        assert rt.memcpys[0].host_addr == h.addr
+        assert rt.memcpys[0].device_addr == d.addr
+
+    def test_memcpy_overflow_rejected(self):
+        rt = self._rt()
+        d = rt.cuda_malloc(16)
+        with pytest.raises(LaunchError, match="memcpy"):
+            rt.cuda_memcpy_htod(d, np.zeros(64, dtype=np.float32))
+
+    def test_raw_ndarray_memcpy(self):
+        rt = self._rt()
+        d = rt.cuda_malloc(64)
+        rt.cuda_memcpy_htod(d, np.arange(16, dtype=np.int32))
+        out = np.zeros(16, dtype=np.int32)
+        rt.cuda_memcpy_dtoh(out, d)
+        assert np.array_equal(out, np.arange(16))
+        # Raw arrays carry no host address: recorded as 0.
+        assert rt.memcpys[0].host_addr == 0
+
+    def test_profiler_receives_all_events(self):
+        session = ProfilingSession()
+        rt = self._rt(profiler=session)
+        h = rt.host_malloc(4, np.float32, "h")
+        d = rt.cuda_malloc(16, "d")
+        rt.cuda_memcpy_htod(d, h)
+        assert len(session.host_buffers) == 1
+        assert len(session.device_allocations) == 1
+        assert len(session.memcpys) == 1
+
+    def test_pointer_offset(self):
+        rt = self._rt()
+        d = rt.cuda_malloc(256, "d")
+        sub = d.offset(64)
+        assert sub.addr == d.addr + 64
+        assert sub.nbytes == 192
+        with pytest.raises(LaunchError):
+            d.offset(1000)
+
+    def test_cuda_free(self):
+        rt = self._rt()
+        d = rt.cuda_malloc(64)
+        rt.cuda_free(d)
+        from repro.errors import MemoryError_
+
+        with pytest.raises(MemoryError_):
+            rt.cuda_free(d)

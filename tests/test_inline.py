@@ -1,0 +1,163 @@
+"""Tests for the function-inlining pass."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import (
+    compile_kernels,
+    device,
+    f32,
+    i32,
+    kernel,
+    ptr_f32,
+    ptr_i32,
+)
+from repro.gpu import Device, KEPLER_K40C
+from repro.ir import verify_module
+from repro.ir.instructions import Call
+from repro.passes import PassManager, optimization_pipeline
+from repro.passes.inline import InlineFunctionsPass
+from tests.conftest import KERNELS
+
+
+def _device_calls(fn):
+    return [
+        i for i in fn.instructions()
+        if isinstance(i, Call) and i.callee.kind == "device"
+    ]
+
+
+@device
+def poly2(x: f32, a: f32, b: f32, c: f32) -> f32:
+    return a * x * x + b * x + c
+
+
+@device
+def absdiff(a: i32, b: i32) -> i32:
+    if a > b:
+        return a - b
+    return b - a
+
+
+@kernel
+def k_poly(xs: ptr_f32, out: ptr_f32, n: i32):
+    gid = ctaid_x * ntid_x + tid_x
+    if gid < n:
+        out[gid] = poly2(xs[gid], 2.0, -3.0, 1.0)
+
+
+@kernel
+def k_absdiff_loop(data: ptr_i32, out: ptr_i32, n: i32):
+    gid = ctaid_x * ntid_x + tid_x
+    if gid < n:
+        total = 0
+        for i in range(4):
+            total += absdiff(data[gid], i * 10)
+        out[gid] = total
+
+
+class TestInlining:
+    def _inline(self, k, pipeline_first=True):
+        module = compile_kernels([k], k.name)
+        if pipeline_first:
+            optimization_pipeline().run(module)
+        changed = PassManager([InlineFunctionsPass()]).run(module)
+        verify_module(module)
+        return module
+
+    def test_single_return_callee_inlined(self):
+        module = self._inline(k_poly)
+        fn = module.get_function("k_poly")
+        assert not _device_calls(fn)
+
+    def test_multi_return_callee_gets_phi(self):
+        from repro.ir.instructions import Phi
+
+        module = self._inline(k_absdiff_loop)
+        fn = module.get_function("k_absdiff_loop")
+        assert not _device_calls(fn)
+        names = [b.name for b in fn.blocks]
+        assert any(n.startswith("absdiff.exit") for n in names)
+        exit_block = next(
+            b for b in fn.blocks if b.name.startswith("absdiff.exit")
+        )
+        assert isinstance(exit_block.instructions[0], Phi)
+
+    @pytest.mark.parametrize("k,ref", [
+        (k_poly, lambda x: 2 * x * x - 3 * x + 1),
+    ])
+    def test_semantics_float(self, k, ref):
+        module = self._inline(k)
+        dev = Device(KEPLER_K40C)
+        img = dev.load_module(module)
+        xs = np.linspace(-4, 4, 64, dtype=np.float32)
+        dx = dev.malloc(xs.nbytes)
+        do = dev.malloc(xs.nbytes)
+        dev.memcpy_htod(dx, xs)
+        dev.launch(img, k.name, 2, 32, [dx, do, 64])
+        out = dev.memcpy_dtoh(do, np.float32, 64)
+        assert np.allclose(out, ref(xs), rtol=1e-5)
+
+    def test_semantics_divergent_multi_return(self):
+        module = self._inline(k_absdiff_loop)
+        dev = Device(KEPLER_K40C)
+        img = dev.load_module(module)
+        data = np.arange(64, dtype=np.int32)
+        di = dev.malloc(data.nbytes)
+        do = dev.malloc(data.nbytes)
+        dev.memcpy_htod(di, data)
+        dev.launch(img, "k_absdiff_loop", 2, 32, [di, do, 64])
+        out = dev.memcpy_dtoh(do, np.int32, 64)
+        expected = [
+            sum(abs(int(v) - i * 10) for i in range(4)) for v in data
+        ]
+        assert list(out) == expected
+
+    def test_size_threshold_respected(self):
+        module = compile_kernels([k_poly], "m")
+        optimization_pipeline().run(module)
+        changed = PassManager(
+            [InlineFunctionsPass(max_callee_instructions=1)]
+        ).run(module)
+        fn = module.get_function("k_poly")
+        assert _device_calls(fn)  # too big to inline at threshold 1
+
+    def test_nested_calls_inline_transitively(self):
+        module = compile_kernels([KERNELS["saxpy_clamped"]], "m")
+        optimization_pipeline().run(module)
+        PassManager([InlineFunctionsPass()]).run(module)
+        verify_module(module)
+        fn = module.get_function("saxpy_clamped")
+        assert not _device_calls(fn)
+        # Semantics spot-check.
+        dev = Device(KEPLER_K40C)
+        img = dev.load_module(module)
+        x = np.full(32, 100.0, dtype=np.float32)
+        dx = dev.malloc(x.nbytes)
+        dy = dev.malloc(x.nbytes)
+        dev.memcpy_htod(dx, x)
+        dev.memcpy_htod(dy, x)
+        dev.launch(img, "saxpy_clamped", 1, 32, [dx, dy, 2.0, 32])
+        out = dev.memcpy_dtoh(dy, np.float32, 32)
+        assert np.allclose(out, 10.0)  # clamped to hi
+
+    def test_instruction_count_does_not_grow(self):
+        """Inlining swaps call/ret for branches (count-neutral in the
+        interpreter's accounting) and removes the frame push/pop; the
+        executed instruction count must not grow."""
+        plain = compile_kernels([KERNELS["saxpy_clamped"]], "a")
+        optimization_pipeline().run(plain)
+        inlined = compile_kernels([KERNELS["saxpy_clamped"]], "b")
+        optimization_pipeline().run(inlined)
+        PassManager([InlineFunctionsPass()]).run(inlined)
+
+        counts = []
+        for module in (plain, inlined):
+            dev = Device(KEPLER_K40C)
+            img = dev.load_module(module)
+            dx = dev.malloc(4 * 64)
+            dy = dev.malloc(4 * 64)
+            result = dev.launch(img, "saxpy_clamped", 2, 32,
+                                [dx, dy, 2.0, 64])
+            counts.append(result.instructions)
+        assert counts[1] <= counts[0]

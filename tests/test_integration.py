@@ -1,0 +1,146 @@
+"""End-to-end integration tests: the full Figure 1 workflow.
+
+Covers the complete toolchain path -- DSL -> IR -> optimization ->
+instrumentation -> PTX/fatbin -> simulated execution -> profiles ->
+analyses -> advice -- and cross-checks between independent components
+(trace-derived metrics vs simulator-level counters).
+"""
+
+import numpy as np
+import pytest
+
+from repro import CUDAAdvisor, CudaRuntime, Device, KEPLER_K40C
+from repro.analysis.divergence_memory import memory_divergence_analysis
+from repro.apps import build_app
+from repro.backend.fatbin import build_fatbin
+from repro.frontend.dsl import compile_kernels
+from repro.ir import parse_module, print_module, verify_module
+from repro.passes import instrumentation_pipeline, optimization_pipeline
+from repro.profiler import ProfilingSession
+
+
+class TestToolchainRoundTrip:
+    def test_instrumented_module_survives_text_roundtrip(self):
+        """Compile -> optimize -> instrument -> print -> parse -> run:
+        the re-parsed module must execute identically (the on-disk .ll
+        workflow around opt)."""
+        app = build_app("nn", num_records=256)
+        module = compile_kernels(list(app.kernels), "nn")
+        optimization_pipeline().run(module)
+        instrumentation_pipeline(["memory", "blocks"]).run(module)
+        reparsed = parse_module(print_module(module))
+        verify_module(reparsed)
+
+        outputs = []
+        for mod in (module, reparsed):
+            dev = Device(KEPLER_K40C)
+            session = ProfilingSession()
+            rt = CudaRuntime(dev, profiler=session)
+            image = dev.load_module(mod)
+            state = app.prepare(rt)
+            app.run(rt, image, state)
+            assert app.check(rt, state)
+            out = dev.memcpy_dtoh(state["d_distances"], np.float32, 256)
+            outputs.append((out, len(session.last_profile.memory_records)))
+        assert np.array_equal(outputs[0][0], outputs[1][0])
+        assert outputs[0][1] == outputs[1][1]
+
+    def test_fatbin_ptx_generated_for_instrumented_code(self):
+        app = build_app("hotspot", n=32, steps=1)
+        module = compile_kernels(list(app.kernels), "hotspot")
+        optimization_pipeline().run(module)
+        instrumentation_pipeline(["memory"]).run(module)
+        fat = build_fatbin(module, ["3.5", "6.0"])
+        assert "call.uni Record" in fat.best_image("6.0")
+
+
+class TestCrossValidation:
+    """Trace-derived analysis results must agree with independent
+    simulator-level measurements of the same quantities."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        app = build_app("bicg", nx=64, ny=64)
+        module = compile_kernels(list(app.kernels), "bicg")
+        optimization_pipeline().run(module)
+        baseline = compile_kernels(list(app.kernels), "bicg-base")
+        optimization_pipeline().run(baseline)
+        instrumentation_pipeline(["memory", "blocks"]).run(module)
+
+        session = ProfilingSession()
+        dev = Device(KEPLER_K40C)
+        rt = CudaRuntime(dev, profiler=session)
+        image = dev.load_module(module)
+        state = app.prepare(rt)
+        instrumented_results = app.run(rt, image, state)
+        assert app.check(rt, state)
+
+        dev0 = Device(KEPLER_K40C)
+        rt0 = CudaRuntime(dev0)
+        image0 = dev0.load_module(baseline)
+        state0 = app.prepare(rt0)
+        baseline_results = app.run(rt0, image0, state0)
+        return app, session, baseline_results, instrumented_results
+
+    def test_trace_transactions_match_simulator(self, run):
+        """Sum of per-access unique-line counts from the *trace* must
+        equal the coalescer's transaction count for the same accesses
+        (both kernels only do global loads/stores)."""
+        app, session, baseline_results, _ = run
+        trace_transactions = 0
+        for profile in session.profiles:
+            md = memory_divergence_analysis(profile, 128)
+            trace_transactions += sum(
+                k * v for k, v in md.counts.items()
+            )
+        simulator_transactions = sum(
+            r.transactions for r in baseline_results
+        )
+        assert trace_transactions == simulator_transactions
+
+    def test_divergent_branch_counts_consistent(self, run):
+        """The trace-level divergent-block count and the hardware-level
+        divergent-branch counter must agree in sign (both zero for the
+        branch-free bicg kernels)."""
+        app, session, baseline_results, instrumented = run
+        trace_divergent = sum(
+            1
+            for profile in session.profiles
+            for record in profile.block_records
+            if record.divergent
+        )
+        hw_divergent = sum(r.divergent_branches for r in baseline_results)
+        assert trace_divergent == 0
+        assert hw_divergent == 0
+
+    def test_instrumentation_only_adds_cost(self, run):
+        app, session, baseline_results, instrumented = run
+        assert sum(r.instructions for r in instrumented) > sum(
+            r.instructions for r in baseline_results
+        )
+        assert sum(r.cycles for r in instrumented) > sum(
+            r.cycles for r in baseline_results
+        )
+
+
+class TestAdvisorMultiKernelApps:
+    def test_srad_two_kernels_profiled_separately(self):
+        advisor = CUDAAdvisor(
+            arch=KEPLER_K40C, modes=("memory",), measure_overhead=False
+        )
+        report = advisor.profile(build_app("srad_v2", n=32, iterations=2))
+        kernels = {p.kernel for p in report.session.profiles}
+        assert kernels == {"srad_cuda_1", "srad_cuda_2"}
+        # Two iterations -> two instances of each kernel.
+        assert len(report.session.profiles) == 4
+
+    def test_bfs_iterative_host_loop(self):
+        advisor = CUDAAdvisor(
+            arch=KEPLER_K40C, modes=("memory",), measure_overhead=False
+        )
+        report = advisor.profile(build_app("bfs", num_nodes=512))
+        # The frontier loop launches Kernel and Kernel2 per level.
+        k1 = [p for p in report.session.profiles if p.kernel == "bfs_kernel"]
+        k2 = [p for p in report.session.profiles if p.kernel == "bfs_kernel2"]
+        assert len(k1) == len(k2)
+        assert len(k1) >= 3  # at least a few BFS levels

@@ -1,0 +1,197 @@
+"""Unit tests for IR values, instructions, modules and the builder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    BOOL,
+    BasicBlock,
+    Constant,
+    DebugLoc,
+    F32,
+    Function,
+    I32,
+    IRBuilder,
+    Module,
+    VOID,
+    ptr,
+)
+from repro.ir.instructions import (
+    AtomicOp,
+    CacheOp,
+    CmpPred,
+    Load,
+    Opcode,
+    Store,
+)
+from repro.ir.module import link_modules
+
+
+class TestConstants:
+    def test_int_wrapping(self):
+        c = Constant(I32, 2**31)
+        assert c.value == -(2**31)
+        assert Constant(I32, -1).value == -1
+
+    def test_bool(self):
+        assert Constant(BOOL, 3).value is True
+        assert Constant(BOOL, 0).value is False
+        assert Constant(BOOL, True).ref() == "true"
+
+    def test_float(self):
+        assert Constant(F32, 1).value == 1.0
+        assert isinstance(Constant(F32, 1).value, float)
+
+    def test_equality(self):
+        assert Constant(I32, 5) == Constant(I32, 5)
+        assert Constant(I32, 5) != Constant(I32, 6)
+        assert Constant(I32, 5) != Constant(F32, 5)
+
+
+def _make_fn():
+    m = Module("m", target="nvptx")
+    fn = m.add_function("f", VOID, [(ptr(F32), "p"), (I32, "n")], kind="kernel")
+    return m, fn
+
+
+class TestModuleStructure:
+    def test_duplicate_function_rejected(self):
+        m, _ = _make_fn()
+        with pytest.raises(IRError):
+            m.add_function("f", VOID, [], kind="kernel")
+
+    def test_declare_is_idempotent(self):
+        m, _ = _make_fn()
+        a = m.declare_function("hook", VOID, [(I32, "x")], kind="hook")
+        b = m.declare_function("hook", VOID, [(I32, "x")], kind="hook")
+        assert a is b
+
+    def test_declare_conflict_rejected(self):
+        m, _ = _make_fn()
+        m.declare_function("hook", VOID, [(I32, "x")], kind="hook")
+        with pytest.raises(IRError):
+            m.declare_function("hook", VOID, [(F32, "x")], kind="hook")
+
+    def test_kernels_listing(self):
+        m, fn = _make_fn()
+        m.add_function("helper", F32, [(F32, "x")], kind="device")
+        assert m.kernels() == [fn]
+
+    def test_string_interning(self):
+        m, _ = _make_fn()
+        s1 = m.add_string("hello")
+        s2 = m.add_string("hello")
+        s3 = m.add_string("world")
+        assert s1 is s2
+        assert s1 is not s3
+
+    def test_unique_value_names(self):
+        _, fn = _make_fn()
+        a = fn.unique_value_name("x")
+        b = fn.unique_value_name("x")
+        assert a != b
+
+
+class TestBuilder:
+    def test_basic_arithmetic_types(self):
+        m, fn = _make_fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder.at_end(entry)
+        s = b.add(b.i32(1), b.i32(2))
+        assert s.type == I32
+        f = b.fmul(b.f32(2.0), b.f32(3.0))
+        assert f.type == F32
+        c = b.icmp(CmpPred.LT, s, b.i32(10))
+        assert c.type == BOOL
+
+    def test_type_mismatch_rejected(self):
+        m, fn = _make_fn()
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        with pytest.raises(IRError):
+            b.add(b.i32(1), b.f32(1.0))
+        with pytest.raises(IRError):
+            b.fadd(b.i32(1), b.i32(2))
+
+    def test_store_type_checked(self):
+        m, fn = _make_fn()
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        with pytest.raises(IRError):
+            b.store(b.i32(4), fn.args[0])  # f32* given an i32
+
+    def test_call_arity_and_types_checked(self):
+        m, fn = _make_fn()
+        hook = m.declare_function("h", VOID, [(I32, "x")], kind="hook")
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        with pytest.raises(IRError):
+            b.call(hook, [])
+        with pytest.raises(IRError):
+            b.call(hook, [b.f32(1.0)])
+
+    def test_terminator_seals_block(self):
+        m, fn = _make_fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder.at_end(entry)
+        b.ret()
+        with pytest.raises(IRError):
+            b.add(b.i32(1), b.i32(1))
+
+    def test_insert_before_anchors(self):
+        m, fn = _make_fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder.at_end(entry)
+        gep = b.gep(fn.args[0], b.i32(0))
+        load = b.load(gep)
+        b.ret()
+        before = IRBuilder.before(load)
+        marker = before.add(before.i32(1), before.i32(2))
+        names = [type(i).__name__ for i in entry.instructions]
+        assert names.index("BinOp") < names.index("Load")
+        assert marker.parent is entry
+
+    def test_debug_loc_propagation(self):
+        m, fn = _make_fn()
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        b.set_loc(DebugLoc("f.py", 12, 3))
+        inst = b.add(b.i32(1), b.i32(1))
+        assert inst.debug_loc == DebugLoc("f.py", 12, 3)
+        # IRBuilder.before inherits the anchor's location.
+        b.ret()
+        before = IRBuilder.before(inst)
+        other = before.mul(before.i32(2), before.i32(2))
+        assert other.debug_loc == DebugLoc("f.py", 12, 3)
+
+
+class TestCacheOps:
+    def test_default_cache_operator(self):
+        m, fn = _make_fn()
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        load = b.load(fn.args[0])
+        assert load.cache_op == CacheOp.CACHE_ALL
+
+    def test_explicit_cache_operator(self):
+        m, fn = _make_fn()
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        load = b.load(fn.args[0], cache_op=CacheOp.CACHE_GLOBAL)
+        assert load.cache_op == CacheOp.CACHE_GLOBAL
+
+
+class TestLinkModules:
+    def test_definition_replaces_declaration(self):
+        dest = Module("dest", target="nvptx")
+        dest.declare_function("Record", VOID, [(I32, "x")], kind="hook")
+        src = Module("hooks", target="nvptx")
+        fn = src.add_function("Record", VOID, [(I32, "x")], kind="hook")
+        fn.add_block("entry")
+        IRBuilder.at_end(fn.entry).ret()
+        link_modules(dest, src)
+        assert not dest.get_function("Record").is_declaration
+
+    def test_duplicate_definitions_rejected(self):
+        a = Module("a", target="nvptx")
+        fa = a.add_function("f", VOID, [], kind="device")
+        IRBuilder.at_end(fa.add_block("entry")).ret()
+        b = Module("b", target="nvptx")
+        fb = b.add_function("f", VOID, [], kind="device")
+        IRBuilder.at_end(fb.add_block("entry")).ret()
+        with pytest.raises(IRError):
+            link_modules(a, b)

@@ -1,0 +1,97 @@
+"""Unit tests for the IR type system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir.types import (
+    AddressSpace,
+    FloatType,
+    IntType,
+    PointerType,
+    VoidType,
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I32,
+    I64,
+    VOID,
+    parse_type,
+    ptr,
+)
+
+
+class TestInterning:
+    def test_structural_equality(self):
+        assert IntType(32) == I32
+        assert FloatType(32) == F32
+        assert IntType(32) != IntType(64)
+        assert IntType(32) != FloatType(32)
+
+    def test_hashable(self):
+        table = {I32: "a", F32: "b", ptr(F32): "c"}
+        assert table[IntType(32)] == "a"
+        assert table[PointerType(FloatType(32))] == "c"
+
+    def test_pointer_equality_includes_addrspace(self):
+        assert ptr(F32) != ptr(F32, AddressSpace.SHARED)
+        assert ptr(F32, AddressSpace.SHARED) == ptr(F32, AddressSpace.SHARED)
+
+
+class TestClassification:
+    def test_predicates(self):
+        assert I32.is_int and not I32.is_float and not I32.is_pointer
+        assert F64.is_float and not F64.is_int
+        assert ptr(I8).is_pointer
+        assert VOID.is_void
+        assert BOOL.is_bool and BOOL.is_int
+        assert not I8.is_bool
+
+    def test_sizes(self):
+        assert I8.size_bytes() == 1
+        assert I32.size_bytes() == 4
+        assert I64.size_bytes() == 8
+        assert F32.size_bytes() == 4
+        assert F64.size_bytes() == 8
+        assert BOOL.size_bytes() == 1
+        assert ptr(F32).size_bytes() == 8
+        assert I32.size_bits() == 32
+
+    def test_void_has_no_size(self):
+        with pytest.raises(IRError):
+            VOID.size_bytes()
+
+    def test_numpy_dtypes(self):
+        assert I32.numpy_dtype() == np.dtype(np.int32)
+        assert F32.numpy_dtype() == np.dtype(np.float32)
+        assert BOOL.numpy_dtype() == np.dtype(np.bool_)
+        assert ptr(F32).numpy_dtype() == np.dtype(np.int64)
+
+
+class TestValidation:
+    def test_bad_widths_rejected(self):
+        with pytest.raises(IRError):
+            IntType(24)
+        with pytest.raises(IRError):
+            FloatType(16)
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(IRError):
+            ptr(VOID)
+
+
+class TestPrintParse:
+    @pytest.mark.parametrize(
+        "t", [I8, I32, I64, F32, F64, VOID, BOOL, ptr(F32), ptr(I32),
+              ptr(F32, AddressSpace.SHARED), ptr(I8, AddressSpace.CONSTANT),
+              ptr(ptr(F32))]
+    )
+    def test_roundtrip(self, t):
+        assert parse_type(str(t)) == t
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(IRError):
+            parse_type("i33")
+        with pytest.raises(IRError):
+            parse_type("banana")

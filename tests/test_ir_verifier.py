@@ -1,0 +1,160 @@
+"""Tests for the IR verifier: each structural rule must be enforced."""
+
+import pytest
+
+from repro.errors import VerifierError
+from repro.ir import (
+    Constant,
+    F32,
+    I32,
+    IRBuilder,
+    Module,
+    VOID,
+    verify_module,
+    ptr,
+)
+from repro.ir.instructions import Br, Call, CmpPred, Phi, Ret
+
+
+def _fn(ret=VOID, params=((I32, "n"),), kind="kernel"):
+    m = Module("m", target="nvptx")
+    fn = m.add_function("f", ret, list(params), kind=kind)
+    return m, fn
+
+
+class TestBlockRules:
+    def test_valid_module_passes(self):
+        m, fn = _fn()
+        IRBuilder.at_end(fn.add_block("entry")).ret()
+        verify_module(m)
+
+    def test_missing_terminator(self):
+        m, fn = _fn()
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        b.add(b.i32(1), b.i32(2))
+        with pytest.raises(VerifierError, match="terminator"):
+            verify_module(m)
+
+    def test_empty_block(self):
+        m, fn = _fn()
+        fn.add_block("entry")
+        with pytest.raises(VerifierError, match="empty"):
+            verify_module(m)
+
+    def test_midblock_terminator(self):
+        m, fn = _fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder.at_end(entry)
+        b.ret()
+        # Force a second instruction past the terminator.
+        ret2 = Ret(None)
+        ret2.parent = entry
+        entry.instructions.append(ret2)
+        with pytest.raises(VerifierError):
+            verify_module(m)
+
+    def test_cross_function_branch(self):
+        m, fn = _fn()
+        other = m.add_function("g", VOID, [], kind="device")
+        other_entry = other.add_block("entry")
+        IRBuilder.at_end(other_entry).ret()
+        entry = fn.add_block("entry")
+        entry.append(Br(other_entry))
+        with pytest.raises(VerifierError, match="another function"):
+            verify_module(m)
+
+
+class TestSignatureRules:
+    def test_kernel_must_return_void(self):
+        m = Module("m", target="nvptx")
+        fn = m.add_function("k", I32, [], kind="kernel")
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        b.ret(b.i32(0))
+        with pytest.raises(VerifierError, match="void"):
+            verify_module(m)
+
+    def test_ret_type_mismatch(self):
+        m, fn = _fn(ret=F32, kind="device")
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        b.ret(b.i32(0))
+        with pytest.raises(VerifierError):
+            verify_module(m)
+
+    def test_call_arity_mismatch(self):
+        m, fn = _fn()
+        hook = m.declare_function("h", VOID, [(I32, "x")], kind="hook")
+        entry = fn.add_block("entry")
+        bad = Call(hook, [], "")
+        bad.parent = entry
+        entry.instructions.append(bad)
+        IRBuilder.at_end(entry).ret()
+        with pytest.raises(VerifierError, match="arity"):
+            verify_module(m)
+
+
+class TestDominance:
+    def test_use_before_def_in_block(self):
+        m, fn = _fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder.at_end(entry)
+        x = b.add(b.i32(1), b.i32(1), "x")
+        y = b.add(x, b.i32(1), "y")
+        b.ret()
+        # Swap x and y: y now uses x before its definition.
+        entry.instructions[0], entry.instructions[1] = (
+            entry.instructions[1],
+            entry.instructions[0],
+        )
+        with pytest.raises(VerifierError, match="before definition"):
+            verify_module(m)
+
+    def test_use_from_non_dominating_block(self):
+        m, fn = _fn()
+        entry = fn.add_block("entry")
+        left = fn.add_block("left")
+        right = fn.add_block("right")
+        merge = fn.add_block("merge")
+        b = IRBuilder.at_end(entry)
+        cond = b.icmp(CmpPred.LT, fn.args[0], b.i32(0))
+        b.cond_br(cond, left, right)
+        b.position_at_end(left)
+        x = b.add(b.i32(1), b.i32(1), "x")
+        b.br(merge)
+        IRBuilder.at_end(right).br(merge)
+        b.position_at_end(merge)
+        b.add(x, b.i32(1), "y")  # x does not dominate merge
+        b.ret()
+        with pytest.raises(VerifierError, match="dominate"):
+            verify_module(m)
+
+    def test_phi_makes_merge_legal(self):
+        m, fn = _fn()
+        entry = fn.add_block("entry")
+        left = fn.add_block("left")
+        right = fn.add_block("right")
+        merge = fn.add_block("merge")
+        b = IRBuilder.at_end(entry)
+        cond = b.icmp(CmpPred.LT, fn.args[0], b.i32(0))
+        b.cond_br(cond, left, right)
+        b.position_at_end(left)
+        x = b.add(b.i32(1), b.i32(1), "x")
+        b.br(merge)
+        IRBuilder.at_end(right).br(merge)
+        b.position_at_end(merge)
+        phi = b.phi(I32, "m")
+        phi.add_incoming(x, left)
+        phi.add_incoming(Constant(I32, 0), right)
+        b.ret()
+        verify_module(m)
+
+    def test_phi_arms_must_match_predecessors(self):
+        m, fn = _fn()
+        entry = fn.add_block("entry")
+        merge = fn.add_block("merge")
+        IRBuilder.at_end(entry).br(merge)
+        phi = Phi(I32, "p")
+        phi.parent = merge
+        merge.instructions.append(phi)  # no incoming arms at all
+        IRBuilder.at_end(merge).ret()
+        with pytest.raises(VerifierError, match="predecessors"):
+            verify_module(m)

@@ -1,0 +1,84 @@
+"""Tests for DeviceModuleImage: shared layout, function table, ipostdom
+caching, and launch-result bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu import Device, KEPLER_K40C
+from repro.ir.types import AddressSpace
+
+
+class TestSharedLayout:
+    def test_offsets_are_aligned_and_disjoint(self, fresh_module,
+                                              kepler_device):
+        image = kepler_device.load_module(fresh_module)
+        tile = fresh_module.globals["block_reduce.tile"]
+        offset = image.shared_offsets["block_reduce.tile"]
+        assert offset % tile.element_type.size_bytes() == 0
+        assert image.shared_bytes_per_cta >= tile.count * 4
+
+    def test_no_shared_globals_means_empty_arena(self, kepler_device):
+        from repro.ir import Module, VOID, IRBuilder
+
+        m = Module("empty", target="nvptx")
+        fn = m.add_function("k", VOID, [], kind="kernel")
+        IRBuilder.at_end(fn.add_block("entry")).ret()
+        image = kepler_device.load_module(m)
+        assert image.shared_bytes_per_cta == 0
+
+
+class TestFunctionTable:
+    def test_kernels_and_device_functions_enumerated(self, fresh_module,
+                                                     kepler_device):
+        image = kepler_device.load_module(fresh_module)
+        names = {fn.name for fn in image.functions_by_id}
+        assert "saxpy" in names
+        assert "clampf" in names  # device function
+        # Hooks and intrinsics are not in the code-centric table.
+        assert "nvvm.tid.x" not in names
+        for name, fid in image.function_ids.items():
+            assert image.functions_by_id[fid].name == name
+
+    def test_ids_match_instrumentation_assignment(self, fresh_module,
+                                                  kepler_device):
+        from repro.passes.instrument_callret import assign_function_ids
+
+        image = kepler_device.load_module(fresh_module)
+        assert assign_function_ids(fresh_module) == image.function_ids
+
+
+class TestModuleLoading:
+    def test_host_module_rejected(self, kepler_device):
+        from repro.ir import Module
+
+        with pytest.raises(LaunchError, match="not a device module"):
+            kepler_device.load_module(Module("host", target="host"))
+
+    def test_ipostdom_precomputed_for_all_functions(self, fresh_module,
+                                                    kepler_device):
+        image = kepler_device.load_module(fresh_module)
+        fn = fresh_module.get_function("divergent_kernel")
+        for block in fn.blocks:
+            # Must not raise; entry of a kernel always has some value.
+            image.ipostdom(fn, block)
+
+
+class TestLaunchResult:
+    def test_bookkeeping_fields(self, fresh_module, kepler_device):
+        image = kepler_device.load_module(fresh_module)
+        dx = kepler_device.malloc(4 * 128)
+        dy = kepler_device.malloc(4 * 128)
+        result = kepler_device.launch(
+            image, "saxpy", grid=2, block=64, args=[dx, dy, 1.0, 128]
+        )
+        assert result.kernel == "saxpy"
+        assert result.grid == (2, 1, 1)
+        assert result.block == (64, 1, 1)
+        assert result.num_ctas == 2
+        assert result.warps_per_cta == 2
+        assert result.instructions > 0
+        assert result.cycles > 0
+        assert result.transactions > 0
+        assert result.wall_seconds > 0
+        assert 0.0 <= result.l1_hit_rate <= 1.0

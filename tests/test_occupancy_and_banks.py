@@ -1,0 +1,94 @@
+"""Tests for shared-memory-limited occupancy and bank-conflict timing."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernels, f32, i32, kernel, ptr_f32
+from repro.gpu import Device, KEPLER_K40C
+from repro.gpu.interpreter import _bank_conflict_degree
+from repro.passes import optimization_pipeline
+
+
+class TestBankConflictDegree:
+    def _addrs(self, values):
+        a = np.zeros(32, dtype=np.int64)
+        a[: len(values)] = values
+        m = np.zeros(32, dtype=bool)
+        m[: len(values)] = True
+        return a, m
+
+    def test_conflict_free_stride_one(self):
+        addrs, mask = self._addrs([4 * i for i in range(32)])
+        assert _bank_conflict_degree(addrs, mask) == 1
+
+    def test_broadcast_is_free(self):
+        addrs, mask = self._addrs([64] * 32)
+        assert _bank_conflict_degree(addrs, mask) == 1
+
+    def test_stride_two_two_way(self):
+        addrs, mask = self._addrs([8 * i for i in range(32)])
+        assert _bank_conflict_degree(addrs, mask) == 2
+
+    def test_stride_32_worst_case(self):
+        addrs, mask = self._addrs([128 * i for i in range(32)])
+        assert _bank_conflict_degree(addrs, mask) == 32
+
+    def test_inactive_warp(self):
+        addrs = np.zeros(32, dtype=np.int64)
+        assert _bank_conflict_degree(addrs, np.zeros(32, dtype=bool)) == 1
+
+
+@kernel
+def k_stride_shared(out: ptr_f32, stride: i32):
+    tile = shared(f32, 1024)
+    t = tid_x
+    tile[(t * stride) % 1024] = float(t)
+    syncthreads()
+    out[t] = tile[(t * stride) % 1024]
+
+
+class TestBankConflictTiming:
+    def _cycles(self, stride):
+        module = compile_kernels([k_stride_shared], f"m{stride}")
+        optimization_pipeline().run(module)
+        dev = Device(KEPLER_K40C)
+        img = dev.load_module(module)
+        out = dev.malloc(4 * 32)
+        result = dev.launch(img, "k_stride_shared", 1, 32, [out, stride])
+        data = dev.memcpy_dtoh(out, np.float32, 32)
+        assert np.array_equal(data, np.arange(32, dtype=np.float32))
+        return result.cycles
+
+    def test_strided_access_costs_more(self):
+        # Stride 32 words hits one bank 32 ways; stride 1 is clean.
+        assert self._cycles(32) > self._cycles(1)
+
+
+@kernel
+def k_shared_heavy(out: ptr_f32):
+    tile = shared(f32, 8192)  # 32 KB per CTA
+    t = tid_x
+    tile[t] = float(t)
+    syncthreads()
+    out[ctaid_x * ntid_x + t] = tile[t]
+
+
+class TestSharedLimitedOccupancy:
+    def test_residency_capped_by_shared_memory(self):
+        """48 KB/SM with 32 KB/CTA arenas: one CTA resident at a time.
+        Observable through the latency-hiding factor: fewer co-resident
+        warps hide less latency, so cycles rise vs a small-arena kernel
+        with identical instruction structure."""
+        module = compile_kernels([k_shared_heavy], "m")
+        optimization_pipeline().run(module)
+        dev = Device(KEPLER_K40C)
+        img = dev.load_module(module)
+        assert img.shared_bytes_per_cta == 32 * 1024
+        out = dev.malloc(4 * 32 * 16)
+        result = dev.launch(img, "k_shared_heavy", 16, 32, [out])
+        data = dev.memcpy_dtoh(out, np.float32, 32 * 16)
+        expected = np.tile(np.arange(32, dtype=np.float32), 16)
+        assert np.array_equal(data, expected)
+        # One SM gets at most ceil(16/15)=2 CTAs; with the 32KB arena
+        # only 1 can be resident -- execution stays correct regardless.
+        assert result.num_ctas == 16

@@ -1,0 +1,231 @@
+"""Tests for the CUDAAdvisor instrumentation engine passes."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernels
+from repro.gpu import Device, KEPLER_K40C
+from repro.ir import print_module, verify_module
+from repro.ir.instructions import CacheOp, Call, Load, Store
+from repro.ir.types import AddressSpace
+from repro.passes import (
+    ArithInstrumentationPass,
+    BlockInstrumentationPass,
+    CallPathInstrumentationPass,
+    HorizontalBypassPass,
+    MemoryInstrumentationPass,
+    PassManager,
+    instrumentation_pipeline,
+    optimization_pipeline,
+)
+from repro.errors import PassError
+from repro.profiler import HookRuntime, ProfilingSession
+from tests.conftest import KERNELS
+
+
+def _hook_calls(fn, hook_name):
+    return [
+        i for i in fn.instructions()
+        if isinstance(i, Call) and i.callee.name == hook_name
+    ]
+
+
+class TestMemoryInstrumentation:
+    def test_one_record_per_global_access(self, fresh_module):
+        fn = fresh_module.get_function("saxpy")
+        global_accesses = [
+            i for i in fn.instructions()
+            if isinstance(i, (Load, Store))
+            and i.pointer.type.addrspace == AddressSpace.GLOBAL
+        ]
+        MemoryInstrumentationPass().run(fresh_module)
+        verify_module(fresh_module)
+        assert len(_hook_calls(fn, "Record")) == len(global_accesses)
+
+    def test_record_immediately_precedes_access(self, fresh_module):
+        MemoryInstrumentationPass().run(fresh_module)
+        fn = fresh_module.get_function("saxpy")
+        for block in fn.blocks:
+            for idx, inst in enumerate(block.instructions):
+                if (
+                    isinstance(inst, (Load, Store))
+                    and inst.pointer.type.addrspace == AddressSpace.GLOBAL
+                ):
+                    prev = block.instructions[idx - 1]
+                    assert isinstance(prev, Call)
+                    assert prev.callee.name == "Record"
+
+    def test_local_and_shared_not_instrumented(self, fresh_module):
+        from repro.ir.instructions import AtomicRMW
+
+        MemoryInstrumentationPass().run(fresh_module)
+        fn = fresh_module.get_function("block_reduce")
+        # Shared-memory tile and local stack accesses must not be
+        # Recorded: only global loads/stores/atomics count.
+        global_accesses = [
+            i for i in fn.instructions()
+            if isinstance(i, (Load, Store, AtomicRMW))
+            and i.pointer.type.addrspace == AddressSpace.GLOBAL
+        ]
+        assert len(_hook_calls(fn, "Record")) == len(global_accesses)
+
+    def test_arguments_carry_debug_info(self, fresh_module):
+        MemoryInstrumentationPass().run(fresh_module)
+        fn = fresh_module.get_function("saxpy")
+        for call in _hook_calls(fn, "Record"):
+            _, bits, line, col, op = call.args
+            assert bits.value == 32
+            assert line.value > 0
+            assert op.value in (1, 2, 3)
+
+    def test_listing2_shape(self, fresh_module):
+        """The instrumented text contains the Listing 2 pattern:
+        bitcast to i8* followed by the Record call."""
+        MemoryInstrumentationPass().run(fresh_module)
+        text = print_module(fresh_module)
+        assert "bitcast float* " in text
+        assert "call void @Record(i8* " in text
+
+    def test_executes_and_profiles(self, fresh_module):
+        dev = Device(KEPLER_K40C)
+        MemoryInstrumentationPass().run(fresh_module)
+        img = dev.load_module(fresh_module)
+        hooks = HookRuntime(img, "saxpy", (), "test")
+        dx = dev.malloc(4 * 64)
+        dy = dev.malloc(4 * 64)
+        dev.launch(img, "saxpy", 2, 32, [dx, dy, 2.0, 64], hooks=hooks)
+        profile = hooks.profile  # launch drives kernel_begin/kernel_end
+        # 2 loads + 1 store per warp, 2 warps.
+        assert len(profile.memory_records) == 2 * 3
+        assert {r.op.value for r in profile.memory_records} == {1, 2}
+
+
+class TestBlockInstrumentation:
+    def test_every_block_instrumented(self, fresh_module):
+        BlockInstrumentationPass().run(fresh_module)
+        verify_module(fresh_module)
+        for fn in fresh_module.functions.values():
+            if fn.is_declaration or fn.kind not in ("kernel", "device"):
+                continue
+            for block in fn.blocks:
+                calls = [
+                    i for i in block.instructions
+                    if isinstance(i, Call) and i.callee.name == "passBasicBlock"
+                ]
+                assert len(calls) == 1
+
+    def test_block_names_qualified(self, fresh_module):
+        BlockInstrumentationPass().run(fresh_module)
+        names = {s.text for s in fresh_module.strings.values()}
+        assert "saxpy:entry" in names
+        assert any(n.startswith("block_reduce:") for n in names)
+
+    def test_instrumentation_after_phis(self, fresh_module):
+        from repro.ir.instructions import Phi
+
+        optimization_pipeline().run(fresh_module)
+        BlockInstrumentationPass().run(fresh_module)
+        verify_module(fresh_module)
+        for fn in fresh_module.functions.values():
+            for block in fn.blocks:
+                seen_call = False
+                for inst in block.instructions:
+                    if isinstance(inst, Phi):
+                        assert not seen_call, "hook inserted before a phi"
+                    if isinstance(inst, Call):
+                        seen_call = True
+
+
+class TestArithInstrumentation:
+    def test_binops_instrumented(self, fresh_module):
+        from repro.ir.instructions import BinOp
+
+        fn = fresh_module.get_function("saxpy")
+        n_binops = sum(1 for i in fn.instructions() if isinstance(i, BinOp))
+        ArithInstrumentationPass().run(fresh_module)
+        verify_module(fresh_module)
+        assert len(_hook_calls(fn, "RecordArith")) == n_binops
+
+
+class TestCallPathInstrumentation:
+    def test_push_pop_bracket_calls(self, fresh_module):
+        CallPathInstrumentationPass().run(fresh_module)
+        verify_module(fresh_module)
+        fn = fresh_module.get_function("saxpy_clamped")
+        pushes = _hook_calls(fn, "cupr.push")
+        pops = _hook_calls(fn, "cupr.pop")
+        assert len(pushes) == 1  # the clampf call site
+        assert len(pops) == 1
+        # Ordering: push ... call ... pop within the block.
+        block = pushes[0].parent
+        idx = {id(i): n for n, i in enumerate(block.instructions)}
+        call = next(
+            i for i in block.instructions
+            if isinstance(i, Call) and i.callee.name == "clampf"
+        )
+        assert idx[id(pushes[0])] < idx[id(call)] < idx[id(pops[0])]
+
+    def test_hook_calls_not_instrumented(self, fresh_module):
+        MemoryInstrumentationPass().run(fresh_module)
+        CallPathInstrumentationPass().run(fresh_module)
+        fn = fresh_module.get_function("saxpy")
+        assert not _hook_calls(fn, "cupr.push")  # Record isn't bracketed
+
+
+class TestBypassPass:
+    def test_marks_global_accesses_dynamic(self, fresh_module):
+        HorizontalBypassPass().run(fresh_module)
+        fn = fresh_module.get_function("saxpy")
+        for inst in fn.instructions():
+            if isinstance(inst, (Load, Store)):
+                if inst.pointer.type.addrspace == AddressSpace.GLOBAL:
+                    assert inst.cache_op == CacheOp.DYNAMIC
+                else:
+                    assert inst.cache_op == CacheOp.CACHE_ALL
+
+    def test_threshold_controls_bypass_counts(self, fresh_module):
+        HorizontalBypassPass().run(fresh_module)
+        dev = Device(KEPLER_K40C)
+        img = dev.load_module(fresh_module)
+        dx = dev.malloc(4 * 256)
+        dy = dev.malloc(4 * 256)
+        full = dev.launch(img, "saxpy", 1, 256, [dx, dy, 2.0, 256],
+                          l1_warps_per_cta=8)
+        dev2 = Device(KEPLER_K40C)
+        img2 = dev2.load_module(fresh_module)
+        dx2 = dev2.malloc(4 * 256)
+        dy2 = dev2.malloc(4 * 256)
+        half = dev2.launch(img2, "saxpy", 1, 256, [dx2, dy2, 2.0, 256],
+                           l1_warps_per_cta=4)
+        assert full.cache.bypassed == 0
+        assert half.cache.bypassed > 0
+
+    def test_semantics_unchanged(self, fresh_module):
+        HorizontalBypassPass().run(fresh_module)
+        dev = Device(KEPLER_K40C)
+        img = dev.load_module(fresh_module)
+        x = np.arange(64, dtype=np.float32)
+        dx = dev.malloc(4 * 64)
+        dy = dev.malloc(4 * 64)
+        dev.memcpy_htod(dx, x)
+        dev.memcpy_htod(dy, x)
+        dev.launch(img, "saxpy", 2, 32, [dx, dy, 3.0, 64],
+                   l1_warps_per_cta=1)
+        out = dev.memcpy_dtoh(dy, np.float32, 64)
+        assert np.allclose(out, 4 * x)
+
+
+class TestPipelines:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PassError, match="unknown analysis mode"):
+            instrumentation_pipeline(["bogus"])
+
+    def test_modes_compose(self, fresh_module):
+        instrumentation_pipeline(["memory", "blocks", "arith"]).run(
+            fresh_module
+        )
+        verify_module(fresh_module)
+        fn = fresh_module.get_function("saxpy")
+        assert _hook_calls(fn, "Record")
+        assert _hook_calls(fn, "passBasicBlock")
+        assert _hook_calls(fn, "RecordArith")

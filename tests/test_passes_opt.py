@@ -1,0 +1,225 @@
+"""Tests for the generic optimization passes.
+
+Each pass is checked structurally *and* semantically: the optimized
+kernel must compute the same results as the unoptimized one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernels
+from repro.gpu import Device, KEPLER_K40C
+from repro.ir import IRBuilder, Module, I32, F32, VOID, verify_module, ptr
+from repro.ir.instructions import Alloca, CmpPred, Load, Opcode, Phi, Store
+from repro.ir.values import Constant
+from repro.passes import (
+    ConstantFoldPass,
+    DeadCodeEliminationPass,
+    Mem2RegPass,
+    PassManager,
+    SimplifyCFGPass,
+    optimization_pipeline,
+)
+from tests.conftest import KERNELS
+
+
+def _count(fn, cls):
+    return sum(1 for i in fn.instructions() if isinstance(i, cls))
+
+
+class TestMem2Reg:
+    def test_promotes_scalar_allocas(self, fresh_module):
+        fn = fresh_module.get_function("strided_sum")
+        assert _count(fn, Alloca) > 0
+        Mem2RegPass().run(fresh_module)
+        verify_module(fresh_module)
+        # All scalar locals promoted; no local loads/stores remain.
+        assert _count(fn, Alloca) == 0
+
+    def test_inserts_phis_for_loops(self, fresh_module):
+        Mem2RegPass().run(fresh_module)
+        fn = fresh_module.get_function("strided_sum")
+        assert _count(fn, Phi) >= 2  # loop counter + accumulator
+
+    def test_keeps_array_allocas(self):
+        m = Module("m", target="nvptx")
+        fn = m.add_function("f", VOID, [(I32, "n")], kind="kernel")
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        arr = b.alloca(F32, 16, "buf")  # count > 1: not promotable
+        b.store(b.f32(1.0), b.gep(arr, b.i32(0)))
+        b.ret()
+        Mem2RegPass().run(m)
+        assert _count(fn, Alloca) == 1
+
+    def test_semantics_preserved(self):
+        module = compile_kernels([KERNELS["divergent_kernel"]], "m1")
+        opt = compile_kernels([KERNELS["divergent_kernel"]], "m2")
+        Mem2RegPass().run(opt)
+
+        data = np.arange(64, dtype=np.int32)
+        outs = []
+        for mod in (module, opt):
+            dev = Device(KEPLER_K40C)
+            img = dev.load_module(mod)
+            d_in = dev.malloc(data.nbytes)
+            d_out = dev.malloc(data.nbytes)
+            dev.memcpy_htod(d_in, data)
+            dev.launch(img, "divergent_kernel", 2, 32, [d_in, d_out, 64])
+            outs.append(dev.memcpy_dtoh(d_out, np.int32, 64))
+        assert np.array_equal(outs[0], outs[1])
+
+
+class TestConstantFold:
+    def _fn_with_constants(self):
+        m = Module("m", target="nvptx")
+        fn = m.add_function("f", VOID, [(ptr(I32), "out")], kind="kernel")
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        x = b.add(b.i32(2), b.i32(3))
+        y = b.mul(x, b.i32(4))
+        b.store(y, b.gep(fn.args[0], b.i32(0)))
+        b.ret()
+        return m, fn
+
+    def test_folds_chains(self):
+        m, fn = self._fn_with_constants()
+        assert ConstantFoldPass().run(m)
+        verify_module(m)
+        stores = [i for i in fn.instructions() if isinstance(i, Store)]
+        assert isinstance(stores[0].value, Constant)
+        assert stores[0].value.value == 20
+
+    def test_division_by_zero_not_folded(self):
+        m = Module("m", target="nvptx")
+        fn = m.add_function("f", VOID, [(ptr(I32), "out")], kind="kernel")
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        q = b.sdiv(b.i32(10), b.i32(0))
+        b.store(q, b.gep(fn.args[0], b.i32(0)))
+        b.ret()
+        ConstantFoldPass().run(m)
+        stores = [i for i in fn.instructions() if isinstance(i, Store)]
+        assert not isinstance(stores[0].value, Constant)
+
+    def test_comparison_folding(self):
+        m = Module("m", target="nvptx")
+        fn = m.add_function("f", VOID, [], kind="kernel")
+        entry = fn.add_block("entry")
+        then = fn.add_block("then")
+        done = fn.add_block("done")
+        b = IRBuilder.at_end(entry)
+        cond = b.icmp(CmpPred.LT, b.i32(1), b.i32(2))
+        b.cond_br(cond, then, done)
+        IRBuilder.at_end(then).br(done)
+        IRBuilder.at_end(done).ret()
+        ConstantFoldPass().run(m)
+        SimplifyCFGPass().run(m)
+        verify_module(m)
+        # icmp folded to true; branch folded; blocks merged.
+        assert len(fn.blocks) == 1
+
+
+class TestDCE:
+    def test_removes_unused_pure_instructions(self):
+        m = Module("m", target="nvptx")
+        fn = m.add_function("f", VOID, [(ptr(F32), "p")], kind="kernel")
+        b = IRBuilder.at_end(fn.add_block("entry"))
+        dead1 = b.fadd(b.f32(1.0), b.f32(2.0))
+        dead2 = b.fmul(dead1, b.f32(3.0))  # kills dead1 transitively
+        b.load(fn.args[0])  # unused load is removable too
+        b.ret()
+        assert DeadCodeEliminationPass().run(m)
+        assert len(fn.entry.instructions) == 1  # just the ret
+
+    def test_keeps_stores_and_calls(self, fresh_module):
+        fn = fresh_module.get_function("block_reduce")
+        stores_before = _count(fn, Store)
+        DeadCodeEliminationPass().run(fresh_module)
+        # Stores to shared/global memory must survive.
+        from repro.ir.types import AddressSpace
+
+        remaining = [
+            i for i in fn.instructions()
+            if isinstance(i, Store)
+            and i.pointer.type.addrspace != AddressSpace.LOCAL
+        ]
+        assert remaining
+
+
+class TestSimplifyCFG:
+    def test_removes_unreachable_blocks(self):
+        m = Module("m", target="nvptx")
+        fn = m.add_function("f", VOID, [], kind="kernel")
+        IRBuilder.at_end(fn.add_block("entry")).ret()
+        dead = fn.add_block("dead")
+        IRBuilder.at_end(dead).ret()
+        assert SimplifyCFGPass().run(m)
+        assert len(fn.blocks) == 1
+
+    def test_merges_straightline_blocks(self):
+        m = Module("m", target="nvptx")
+        fn = m.add_function("f", VOID, [], kind="kernel")
+        a = fn.add_block("a")
+        b_blk = fn.add_block("b")
+        IRBuilder.at_end(a).br(b_blk)
+        IRBuilder.at_end(b_blk).ret()
+        assert SimplifyCFGPass().run(m)
+        assert len(fn.blocks) == 1
+        verify_module(m)
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("name", ["saxpy", "strided_sum", "block_reduce",
+                                      "divergent_kernel"])
+    def test_pipeline_preserves_semantics(self, name):
+        plain = compile_kernels([KERNELS[name]], "plain")
+        optim = compile_kernels([KERNELS[name]], "optim")
+        optimization_pipeline().run(optim)
+        verify_module(optim)
+
+        n = 128
+        data = (np.arange(n, dtype=np.float32) % 17).astype(np.float32)
+        idata = np.arange(n, dtype=np.int32)
+        outs = []
+        for mod in (plain, optim):
+            dev = Device(KEPLER_K40C)
+            img = dev.load_module(mod)
+            if name == "saxpy":
+                dx = dev.malloc(data.nbytes)
+                dy = dev.malloc(data.nbytes)
+                dev.memcpy_htod(dx, data)
+                dev.memcpy_htod(dy, data)
+                dev.launch(img, name, 2, 64, [dx, dy, 2.0, n])
+                outs.append(dev.memcpy_dtoh(dy, np.float32, n))
+            elif name == "strided_sum":
+                dx = dev.malloc(data.nbytes)
+                do = dev.malloc(4 * 64)
+                dev.memcpy_htod(dx, data)
+                dev.launch(img, name, 1, 64, [dx, do, n, 3])
+                outs.append(dev.memcpy_dtoh(do, np.float32, 64))
+            elif name == "block_reduce":
+                dx = dev.malloc(data.nbytes)
+                do = dev.malloc(4)
+                dev.memcpy_htod(dx, data)
+                dev.memcpy_htod(do, np.zeros(1, dtype=np.float32))
+                dev.launch(img, name, 2, 64, [dx, do, n])
+                outs.append(dev.memcpy_dtoh(do, np.float32, 1))
+            else:
+                di = dev.malloc(idata.nbytes)
+                do = dev.malloc(idata.nbytes)
+                dev.memcpy_htod(di, idata)
+                dev.launch(img, name, 4, 32, [di, do, n])
+                outs.append(dev.memcpy_dtoh(do, np.int32, n))
+        assert np.allclose(outs[0], outs[1], rtol=1e-6)
+
+    def test_pipeline_reduces_instruction_count(self, fresh_module):
+        before = sum(
+            len(list(fn.instructions()))
+            for fn in fresh_module.functions.values()
+            if not fn.is_declaration
+        )
+        optimization_pipeline().run(fresh_module)
+        after = sum(
+            len(list(fn.instructions()))
+            for fn in fresh_module.functions.values()
+            if not fn.is_declaration
+        )
+        assert after < before

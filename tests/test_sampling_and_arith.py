@@ -1,0 +1,81 @@
+"""Tests for trace sampling and the arithmetic analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.arithmetic import arithmetic_analysis, bytes_accessed
+from repro.analysis.divergence_memory import memory_divergence_analysis
+from repro.errors import ProfilerError
+from repro.frontend import compile_kernels
+from repro.gpu import Device, KEPLER_K40C
+from repro.host import CudaRuntime
+from repro.passes import instrumentation_pipeline, optimization_pipeline
+from repro.profiler import HookRuntime, ProfilingSession
+from tests.conftest import KERNELS
+
+
+def _run_profiled(sample_rate=1, kernel="strided_sum", modes=("memory", "arith")):
+    module = compile_kernels([KERNELS[kernel]], "m")
+    optimization_pipeline().run(module)
+    instrumentation_pipeline(list(modes)).run(module)
+    session = ProfilingSession(sample_rate=sample_rate)
+    dev = Device(KEPLER_K40C)
+    rt = CudaRuntime(dev, profiler=session)
+    image = dev.load_module(module)
+    data = np.arange(256, dtype=np.float32)
+    dx = rt.cuda_malloc(data.nbytes, "x")
+    do = rt.cuda_malloc(4 * 64, "o")
+    rt.cuda_memcpy_htod(dx, data)
+    rt.launch_kernel(image, "strided_sum", 1, 64, [dx, do, 256, 3])
+    return session.last_profile
+
+
+class TestSampling:
+    def test_rate_one_records_everything(self):
+        full = _run_profiled(sample_rate=1)
+        sampled = _run_profiled(sample_rate=4)
+        assert len(sampled.memory_records) < len(full.memory_records)
+        # Every-4th sampling keeps roughly a quarter of the events.
+        ratio = len(sampled.memory_records) / len(full.memory_records)
+        assert 0.15 < ratio < 0.35
+
+    def test_sampled_divergence_distribution_approximates_full(self):
+        full = memory_divergence_analysis(_run_profiled(1), 128)
+        sampled = memory_divergence_analysis(_run_profiled(4), 128)
+        # The kernel's accesses are homogeneous; the degree survives
+        # sampling almost exactly.
+        assert sampled.divergence_degree == pytest.approx(
+            full.divergence_degree, rel=0.15
+        )
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ProfilerError):
+            HookRuntime(None, "k", (), "x", sample_rate=0)
+
+
+class TestArithmeticAnalysis:
+    def test_flop_counting(self):
+        profile = _run_profiled(sample_rate=1)
+        arith = arithmetic_analysis(profile)
+        assert arith.lane_flops > 0  # the fadd accumulation
+        assert arith.lane_intops > 0  # index arithmetic
+        assert 0.0 < arith.float_fraction < 1.0
+        assert "fadd" in arith.by_opcode
+        assert arith.by_opcode["fadd"] > 0
+
+    def test_intensity(self):
+        profile = _run_profiled(sample_rate=1)
+        arith = arithmetic_analysis(profile)
+        nbytes = bytes_accessed(profile)
+        assert nbytes > 0
+        assert arith.arithmetic_intensity(nbytes) == pytest.approx(
+            arith.lane_operations / nbytes
+        )
+        assert arith.arithmetic_intensity(0) == 0.0
+
+    def test_per_line_attribution(self):
+        profile = _run_profiled(sample_rate=1)
+        arith = arithmetic_analysis(profile)
+        # All attributed lines come from the conftest source.
+        assert arith.by_line
+        assert all(line > 0 for line in arith.by_line)
