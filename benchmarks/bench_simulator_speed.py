@@ -1,0 +1,214 @@
+"""Simulator speed benchmark: the perf trajectory tracker.
+
+Times an uninstrumented and a fully-instrumented (memory + blocks +
+arith) run of every Table 2 app through the execute->trace pipeline and
+writes ``benchmarks/results/BENCH_simulator.json`` with wall seconds,
+dynamic instructions/second and trace records/second, per app and in
+aggregate. Successive PRs re-run this harness so simulator-speed
+regressions (or wins) are visible in one file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_simulator_speed.py [options]
+
+    --quick             3-app subset with scaled-down inputs (CI smoke)
+    --update-baseline   store this run as the comparison baseline
+    --workers N         exercise the parallel launch path with N workers
+    --repeat N          run each measurement N times, keep the minimum
+                        wall time (the usual robust estimator on noisy,
+                        shared machines; event counts are deterministic
+                        and identical across repeats)
+
+The JSON keeps two sections: ``baseline`` (written once per era with
+--update-baseline, e.g. before a perf PR lands) and ``current`` (every
+run); ``speedup`` is aggregate baseline wall time / current wall time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps import APP_NAMES, build_app
+from repro.frontend.dsl import compile_kernels
+from repro.gpu.arch import KEPLER_K40C
+from repro.gpu.device import Device
+from repro.host.runtime import CudaRuntime
+from repro.passes.pipeline import instrumentation_pipeline, optimization_pipeline
+from repro.profiler.session import ProfilingSession
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+RESULT_FILE = os.path.join(RESULTS_DIR, "BENCH_simulator.json")
+
+#: Reduced inputs for --quick (CI smoke): still end-to-end, just small.
+QUICK_APPS: Dict[str, dict] = {
+    "bfs": {"num_nodes": 256},
+    "hotspot": {"n": 32, "steps": 2},
+    "syrk": {"n": 32},
+}
+
+INSTRUMENT_MODES = ["memory", "blocks", "arith"]
+
+
+def _run_app(
+    app_name: str,
+    app_kwargs: dict,
+    instrumented: bool,
+    workers: Optional[int] = None,
+) -> dict:
+    """One end-to-end execution; returns wall seconds + event counts."""
+    app = build_app(app_name, **app_kwargs)
+    module = compile_kernels(list(app.kernels), app_name)
+    optimization_pipeline().run(module)
+    session = None
+    if instrumented:
+        instrumentation_pipeline(INSTRUMENT_MODES).run(module)
+        session = ProfilingSession()
+    device = Device(KEPLER_K40C)
+    if workers:
+        device.parallel_workers = workers
+    rt = CudaRuntime(device, profiler=session)
+    image = device.load_module(module)
+    state = app.prepare(rt)
+
+    start = time.perf_counter()
+    results = app.run(rt, image, state)
+    wall = time.perf_counter() - start
+
+    instructions = sum(r.instructions for r in results)
+    records = 0
+    if session is not None:
+        for profile in session.profiles:
+            records += (
+                len(profile.memory_records)
+                + len(profile.block_records)
+                + len(profile.arith_records)
+            )
+    return {
+        "wall_s": wall,
+        "instructions": instructions,
+        "records": records,
+    }
+
+
+def _best_of(
+    repeat: int,
+    app_name: str,
+    app_kwargs: dict,
+    instrumented: bool,
+    workers: Optional[int],
+) -> dict:
+    """Min wall time over ``repeat`` runs (counts are deterministic)."""
+    best = None
+    for _ in range(max(1, repeat)):
+        result = _run_app(app_name, app_kwargs, instrumented, workers)
+        if best is None or result["wall_s"] < best["wall_s"]:
+            best = result
+    return best
+
+
+def run_suite(
+    apps: Dict[str, dict], workers: Optional[int] = None, repeat: int = 1
+) -> dict:
+    per_app: Dict[str, dict] = {}
+    for name, kwargs in apps.items():
+        plain = _best_of(repeat, name, kwargs, False, workers)
+        instr = _best_of(repeat, name, kwargs, True, workers)
+        per_app[name] = {
+            "uninstrumented_s": round(plain["wall_s"], 4),
+            "instrumented_s": round(instr["wall_s"], 4),
+            "instructions": instr["instructions"],
+            "instructions_per_s": round(
+                instr["instructions"] / instr["wall_s"]
+            ) if instr["wall_s"] else 0,
+            "records": instr["records"],
+            "records_per_s": round(
+                instr["records"] / instr["wall_s"]
+            ) if instr["wall_s"] else 0,
+        }
+        print(
+            f"{name:>10}: plain {plain['wall_s']:7.3f}s   "
+            f"instrumented {instr['wall_s']:7.3f}s   "
+            f"{per_app[name]['instructions_per_s']:>9,} instr/s   "
+            f"{per_app[name]['records_per_s']:>9,} rec/s"
+        )
+    total_plain = sum(a["uninstrumented_s"] for a in per_app.values())
+    total_instr = sum(a["instrumented_s"] for a in per_app.values())
+    total_insn = sum(a["instructions"] for a in per_app.values())
+    total_rec = sum(a["records"] for a in per_app.values())
+    aggregate = {
+        "uninstrumented_s": round(total_plain, 4),
+        "instrumented_s": round(total_instr, 4),
+        "instructions": total_insn,
+        "instructions_per_s": round(total_insn / total_instr)
+        if total_instr else 0,
+        "records": total_rec,
+        "records_per_s": round(total_rec / total_instr) if total_instr else 0,
+    }
+    print(
+        f"{'TOTAL':>10}: plain {total_plain:7.3f}s   "
+        f"instrumented {total_instr:7.3f}s"
+    )
+    return {"apps": per_app, "aggregate": aggregate}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="3-app scaled-down smoke run")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="store this run as the comparison baseline")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="use the parallel launch path with N workers")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="repeat each measurement N times, keep the min")
+    args = parser.parse_args(argv)
+
+    apps = (
+        QUICK_APPS if args.quick else {name: {} for name in APP_NAMES}
+    )
+    suite = run_suite(apps, workers=args.workers, repeat=args.repeat)
+    suite["config"] = {
+        "quick": args.quick,
+        "workers": args.workers,
+        "repeat": args.repeat,
+        "python": sys.version.split()[0],
+    }
+
+    existing: dict = {}
+    if os.path.exists(RESULT_FILE):
+        with open(RESULT_FILE) as f:
+            existing = json.load(f)
+
+    key = "quick" if args.quick else "full"
+    section = existing.setdefault(key, {})
+    if args.update_baseline or "baseline" not in section:
+        section["baseline"] = suite
+    section["current"] = suite
+
+    base = section["baseline"]["aggregate"]
+    cur = suite["aggregate"]
+    section["speedup"] = {
+        "uninstrumented": round(
+            base["uninstrumented_s"] / cur["uninstrumented_s"], 3
+        ) if cur["uninstrumented_s"] else None,
+        "instrumented": round(
+            base["instrumented_s"] / cur["instrumented_s"], 3
+        ) if cur["instrumented_s"] else None,
+    }
+    print(f"speedup vs baseline: {section['speedup']}")
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(RESULT_FILE, "w") as f:
+        json.dump(existing, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {RESULT_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,10 +9,13 @@ model). This module implements that use case:
 * :func:`stack_distances` -- exact LRU **stack** distances for a
   per-CTA line trace under GPU write semantics (write-evict /
   write-no-allocate). Unlike plain reuse distances, intervening writes
-  are handled the way the cache handles them: a write removes its line
-  from the stack and allocates nothing, so the classic theorem holds
-  exactly: *a read hits a fully-associative LRU cache of capacity C iff
-  its stack distance is < C*.
+  are handled the way the cache handles them: a write drops its line
+  but leaves a *hole* in the stack (the freed way cannot undo a
+  capacity eviction that already happened deeper in the stack); a cold
+  fill consumes the topmost hole, and a re-reference from below a hole
+  sinks that hole to the referenced depth. With that accounting the
+  classic theorem holds exactly: *a read hits a fully-associative LRU
+  cache of capacity C iff its stack distance is < C*.
 * :func:`hit_rate_curve` -- predicted hit rate for every candidate
   capacity from one pass over the trace.
 * :func:`recommend_l1_size` -- the smallest capacity within a tolerance
@@ -21,38 +24,63 @@ model). This module implements that use case:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.analysis.reuse_distance import _Fenwick, INFINITE
+from repro.analysis.reuse_distance import (
+    _Fenwick,
+    _column_event_streams,
+    INFINITE,
+    ReuseDistanceModel,
+)
+from repro.profiler.buffers import MemoryColumns
 from repro.profiler.records import MemoryAccessRecord, MemoryOp
 
 
 def stack_distances(events: Sequence[Tuple[int, bool]]) -> List[int]:
     """LRU stack distance per read of a (line, is_write) stream.
 
-    Returns one entry per *read*: the number of distinct lines above the
-    accessed line in the LRU stack (INFINITE when the line is not
-    resident -- first touch or killed by a write).
+    Returns one entry per *read*: the number of occupied stack slots
+    (distinct lines plus write-evict holes) above the accessed line in
+    the LRU stack (INFINITE when the line is not resident -- first touch
+    or killed by a write).
     """
     n = len(events)
     tree = _Fenwick(n)
     position: Dict[int, int] = {}  # line -> time of its stack slot
+    holes: List[int] = []  # max-heap (negated) of write-evict hole slots
     samples: List[int] = []
 
     for t, (line, is_write) in enumerate(events):
         prev = position.get(line)
         if is_write:
-            # Write-evict / write-no-allocate: drop the line, add nothing.
+            # Write-evict / write-no-allocate: the line is dropped but
+            # its slot stays as a hole -- the freed way cannot undo a
+            # capacity eviction that already happened below this depth.
             if prev is not None:
-                tree.add(prev, -1)
+                heapq.heappush(holes, -prev)
                 del position[line]
             continue
         if prev is None:
             samples.append(INFINITE)
+            # A cold fill occupies the freed way of every cache deep
+            # enough to see the topmost hole; consume it.
+            if holes:
+                tree.add(-heapq.heappop(holes), -1)
         else:
             samples.append(tree.range_sum(prev + 1, t - 1))
-            tree.add(prev, -1)
+            if holes and -holes[0] > prev:
+                # Caches too small to hold the line (hole above it in
+                # their LRU window) fill the free way; caches that hit
+                # keep their hole at the same count. Both are captured
+                # by sinking the topmost hole to the line's old slot:
+                # the hole's slot empties, the line's old slot becomes
+                # the hole.
+                hole = -heapq.heapreplace(holes, -prev)
+                tree.add(hole, -1)
+            else:
+                tree.add(prev, -1)
         tree.add(t, +1)
         position[line] = t
     return samples
@@ -117,9 +145,18 @@ def profile_stack_distances(
 ) -> List[int]:
     """Per-CTA line-granular stack distances for one kernel profile."""
     samples: List[int] = []
-    for cta, records in sorted(profile.memory_records_by_cta().items()):
+    records = profile.memory_records
+    if isinstance(records, MemoryColumns):
+        for lines, writes in _column_event_streams(
+            records, ReuseDistanceModel.CACHE_LINE, line_size
+        ):
+            samples.extend(
+                stack_distances(list(zip(lines.tolist(), writes.tolist())))
+            )
+        return samples
+    for cta, cta_records in sorted(profile.memory_records_by_cta().items()):
         events: List[Tuple[int, bool]] = []
-        for record in records:
+        for record in cta_records:
             is_write = record.op in (MemoryOp.STORE, MemoryOp.ATOMIC)
             for addr in record.active_addresses():
                 events.append((int(addr) // line_size, is_write))

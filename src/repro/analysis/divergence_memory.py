@@ -18,7 +18,43 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.gpu.coalescing import divergence_degree
+from repro.profiler.buffers import MemoryColumns
 from repro.profiler.records import MemoryAccessRecord
+
+#: Row-chunk size for the vectorized unique-line pass (bounds the
+#: temporary (rows, 2*warp_size) matrices to a few MB).
+_CHUNK_ROWS = 32768
+
+
+def _column_unique_line_counts(
+    columns: MemoryColumns, line_size: int
+) -> np.ndarray:
+    """Unique cache lines touched per trace row, vectorized.
+
+    Equivalent to ``len(coalesce(addresses, mask, width, line_size))``
+    per record: both the first and last line of every active lane's
+    access are collected, inactive lanes become a sentinel, and distinct
+    non-sentinel values are counted per row-sorted row.
+    """
+    n = len(columns)
+    out = np.empty(n, dtype=np.int64)
+    for lo in range(0, n, _CHUNK_ROWS):
+        hi = min(lo + _CHUNK_ROWS, n)
+        addrs = columns.addresses[lo:hi]
+        mask = columns.mask[lo:hi]
+        widths = np.maximum(columns.bits[lo:hi].astype(np.int64) >> 3, 1)
+        first = addrs // line_size
+        last = (addrs + widths[:, None] - 1) // line_size
+        vals = np.where(
+            np.concatenate([mask, mask], axis=1),
+            np.concatenate([first, last], axis=1),
+            -1,
+        )
+        vals.sort(axis=1)
+        out[lo:hi] = (vals[:, 0] != -1).astype(np.int64) + (
+            (vals[:, 1:] != vals[:, :-1]) & (vals[:, 1:] != -1)
+        ).sum(axis=1)
+    return out
 
 
 @dataclass
@@ -72,7 +108,15 @@ def memory_divergence_analysis(
 ) -> MemoryDivergenceProfile:
     """Distribution over all instrumented accesses of one kernel profile."""
     result = MemoryDivergenceProfile(line_size=line_size)
-    for record in profile.memory_records:
+    records = profile.memory_records
+    if isinstance(records, MemoryColumns):
+        counts = _column_unique_line_counts(records, line_size)
+        if counts.size:
+            for k, c in enumerate(np.bincount(counts).tolist()):
+                if c:
+                    result.counts[k] += c
+        return result
+    for record in records:
         result.add(_unique_lines(record, line_size))
     return result
 
@@ -83,7 +127,26 @@ def divergent_sites(
     """Source locations (line, col) with divergent accesses and their
     event counts -- the lookup behind the Figure 8 debugging view."""
     sites: Dict[Tuple[int, int], int] = {}
-    for record in profile.memory_records:
+    records = profile.memory_records
+    if isinstance(records, MemoryColumns):
+        counts = _column_unique_line_counts(records, line_size)
+        sel = np.flatnonzero(counts >= threshold)
+        if sel.size:
+            pairs = np.stack(
+                [
+                    records.line[sel].astype(np.int64),
+                    records.col[sel].astype(np.int64),
+                ],
+                axis=1,
+            )
+            uniq, first, cnt = np.unique(
+                pairs, axis=0, return_index=True, return_counts=True
+            )
+            # First-encounter order, matching the per-record path.
+            for j in np.argsort(first, kind="stable").tolist():
+                sites[(int(uniq[j, 0]), int(uniq[j, 1]))] = int(cnt[j])
+        return sites
+    for record in records:
         if _unique_lines(record, line_size) >= threshold:
             key = (record.line, record.col)
             sites[key] = sites.get(key, 0) + 1

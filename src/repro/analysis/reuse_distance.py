@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.profiler.buffers import MemoryColumns
 from repro.profiler.records import MemoryAccessRecord, MemoryOp
 
 #: Figure 4's x-axis buckets: (label, lo, hi) inclusive; ∞ kept separate.
@@ -49,6 +50,10 @@ class ReuseDistanceModel(str, enum.Enum):
 
     ELEMENT = "element"
     CACHE_LINE = "cache_line"
+
+
+#: Lower bucket edges for vectorized bucketing (searchsorted).
+_BUCKET_LOWS = np.array([lo for _, lo, _ in PAPER_BUCKETS], dtype=np.int64)
 
 
 class _Fenwick:
@@ -146,6 +151,23 @@ class ReuseDistanceHistogram:
                 self.bucket_counts[i] += 1
                 return
 
+    def add_samples(self, distances) -> None:
+        """Vectorized :meth:`add_sample` over an array of distances."""
+        d = np.asarray(distances, dtype=np.int64)
+        if d.size == 0:
+            return
+        finite = d[d != INFINITE]
+        self.samples += int(d.size)
+        self.infinite += int(d.size - finite.size)
+        self.finite_sum += int(finite.sum())
+        self.finite_count += int(finite.size)
+        if finite.size:
+            idx = np.searchsorted(_BUCKET_LOWS, finite, side="right") - 1
+            for i, c in enumerate(
+                np.bincount(idx, minlength=len(PAPER_BUCKETS)).tolist()
+            ):
+                self.bucket_counts[i] += c
+
     def merge(self, other: "ReuseDistanceHistogram") -> None:
         if other.model != self.model:
             raise AnalysisError("cannot merge histograms of different models")
@@ -196,6 +218,50 @@ class ReuseDistanceHistogram:
         return count / self.samples
 
 
+def _cta_row_segments(ctas: np.ndarray) -> List[np.ndarray]:
+    """Row indices grouped per CTA, ascending CTA id, trace order kept."""
+    order = np.argsort(ctas, kind="stable")
+    if order.size == 0:
+        return []
+    bounds = np.flatnonzero(np.diff(ctas[order])) + 1
+    return np.split(order, bounds)
+
+
+def _column_flat_events(
+    columns: MemoryColumns,
+    rows: np.ndarray,
+    model: ReuseDistanceModel,
+    line_size: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lane-serialized (elements, writes) for a set of trace rows.
+
+    Active lanes are flattened in row-major order, i.e. record order
+    then lane order -- the same serialization the per-record path uses.
+    """
+    addrs = columns.addresses[rows]
+    mask = columns.mask[rows]
+    if model == ReuseDistanceModel.CACHE_LINE:
+        elements = addrs // line_size
+    else:
+        widths = np.maximum(
+            columns.bits[rows].astype(np.int64) >> 3, 1
+        )
+        elements = addrs // widths[:, None]
+    is_write = columns.op[rows] != int(MemoryOp.LOAD)
+    writes = np.broadcast_to(is_write[:, None], mask.shape)[mask]
+    return elements[mask], writes
+
+
+def _column_event_streams(
+    columns: MemoryColumns,
+    model: ReuseDistanceModel,
+    line_size: int,
+):
+    """Yield per-CTA (elements, writes) arrays, ascending CTA id."""
+    for rows in _cta_row_segments(columns.cta):
+        yield _column_flat_events(columns, rows, model, line_size)
+
+
 def _trace_events(
     records: Iterable[MemoryAccessRecord],
     model: ReuseDistanceModel,
@@ -227,8 +293,18 @@ def reuse_distance_analysis(
     are merged.
     """
     histogram = ReuseDistanceHistogram(model=model)
-    for cta, records in sorted(profile.memory_records_by_cta().items()):
-        events = _trace_events(records, model, line_size)
+    records = profile.memory_records
+    if isinstance(records, MemoryColumns):
+        for elements, writes in _column_event_streams(
+            records, model, line_size
+        ):
+            events = list(zip(elements.tolist(), writes.tolist()))
+            histogram.add_samples(
+                reuse_distances_of_trace(events, write_restart=write_restart)
+            )
+        return histogram
+    for cta, cta_records in sorted(profile.memory_records_by_cta().items()):
+        events = _trace_events(cta_records, model, line_size)
         for distance in reuse_distances_of_trace(
             events, write_restart=write_restart
         ):
@@ -250,10 +326,51 @@ def site_reuse_analysis(
     short reuse should cache.
     """
     sites: Dict[Tuple[int, int], ReuseDistanceHistogram] = {}
-    for cta, records in sorted(profile.memory_records_by_cta().items()):
+    records = profile.memory_records
+    if isinstance(records, MemoryColumns):
+        for rows in _cta_row_segments(records.cta):
+            elements, writes = _column_flat_events(
+                records, rows, model, line_size
+            )
+            mask = records.mask[rows]
+            events = list(zip(elements.tolist(), writes.tolist()))
+            distances = np.asarray(
+                reuse_distances_of_trace(
+                    events, write_restart=write_restart, reads_only=False
+                ),
+                dtype=np.int64,
+            )
+            reads = ~writes
+            if not reads.any():
+                continue
+            lanes_line = np.broadcast_to(
+                records.line[rows].astype(np.int64)[:, None], mask.shape
+            )[mask][reads]
+            lanes_col = np.broadcast_to(
+                records.col[rows].astype(np.int64)[:, None], mask.shape
+            )[mask][reads]
+            d_reads = distances[reads]
+            pairs = np.stack([lanes_line, lanes_col], axis=1)
+            uniq, first, inverse = np.unique(
+                pairs, axis=0, return_index=True, return_inverse=True
+            )
+            inverse = inverse.reshape(-1)
+            by_site = np.argsort(inverse, kind="stable")
+            bounds = np.cumsum(np.bincount(inverse))[:-1]
+            groups = np.split(d_reads[by_site], bounds)
+            # First-encounter order, matching the per-record path.
+            for j in np.argsort(first, kind="stable").tolist():
+                key = (int(uniq[j, 0]), int(uniq[j, 1]))
+                hist = sites.get(key)
+                if hist is None:
+                    hist = ReuseDistanceHistogram(model=model)
+                    sites[key] = hist
+                hist.add_samples(groups[j])
+        return sites
+    for cta, records_list in sorted(profile.memory_records_by_cta().items()):
         events: List[Tuple[int, bool]] = []
         tags: List[Tuple[int, int]] = []
-        for record in records:
+        for record in records_list:
             is_write = record.op in (MemoryOp.STORE, MemoryOp.ATOMIC)
             width = max(record.bytes_per_lane, 1)
             site = (record.line, record.col)

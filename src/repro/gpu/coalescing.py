@@ -14,6 +14,28 @@ from typing import List, Tuple
 import numpy as np
 
 
+def _line_set(
+    addrs: np.ndarray, mask: np.ndarray, access_bytes: int, line_size: int
+) -> set:
+    """Set of cache lines touched by the active lanes.
+
+    A Python set over ``tolist()`` beats ``np.unique`` by several x at
+    warp width (32 elements) -- this sits on the per-instruction hot
+    path of the interpreter.
+    """
+    lines = set()
+    add = lines.add
+    span = access_bytes - 1
+    for addr, active in zip(addrs.tolist(), mask.tolist()):
+        if active:
+            first = addr // line_size
+            add(first)
+            last = (addr + span) // line_size
+            if last != first:
+                add(last)
+    return lines
+
+
 def coalesce(
     addrs: np.ndarray, mask: np.ndarray, access_bytes: int, line_size: int
 ) -> np.ndarray:
@@ -24,18 +46,21 @@ def coalesce(
     aligned accesses, but the model stays correct for byte-addressed
     i8 data of any width).
     """
-    if not mask.any():
-        return np.empty(0, dtype=np.int64)
-    active = addrs[mask]
-    first = active // line_size
-    last = (active + access_bytes - 1) // line_size
-    if (first == last).all():
-        return np.unique(first)
-    return np.unique(np.concatenate([first, last]))
+    return np.array(
+        sorted(_line_set(addrs, mask, access_bytes, line_size)),
+        dtype=np.int64,
+    )
+
+
+def coalesce_lines(
+    addrs: np.ndarray, mask: np.ndarray, access_bytes: int, line_size: int
+) -> List[int]:
+    """Same unique lines as :func:`coalesce`, as a sorted plain list."""
+    return sorted(_line_set(addrs, mask, access_bytes, line_size))
 
 
 def divergence_degree(
     addrs: np.ndarray, mask: np.ndarray, access_bytes: int, line_size: int
 ) -> int:
     """Unique cache lines touched -- the per-instruction divergence count."""
-    return int(len(coalesce(addrs, mask, access_bytes, line_size)))
+    return len(_line_set(addrs, mask, access_bytes, line_size))

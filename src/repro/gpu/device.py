@@ -15,7 +15,9 @@ statistics (cycles, cache stats, divergence counts).
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -24,6 +26,7 @@ import numpy as np
 from repro.errors import ExecutionError, LaunchError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40C
 from repro.gpu.cache import CacheStats, MSHRFile, SetAssociativeCache
+from repro.gpu.decode import decode_module
 from repro.gpu.interpreter import BarrierReached, WarpInterpreter
 from repro.gpu.memory import Allocation, GlobalMemory, LocalMemory, SharedMemory
 from repro.gpu.simt import Warp, WarpStatus
@@ -134,6 +137,10 @@ class DeviceModuleImage:
                 self.function_ids[fn.name] = len(self.functions_by_id)
                 self.functions_by_id.append(fn)
 
+        # Pre-decode every function body into micro-op arrays (the fast
+        # path the interpreter executes; see repro.gpu.decode).
+        self.decoded = decode_module(self)
+
     # -- queries used by the interpreter ------------------------------------
     def ipostdom(self, fn: Function, block: BasicBlock) -> Optional[BasicBlock]:
         return self._ipostdom[fn.name].get(block)
@@ -236,7 +243,7 @@ class _SM:
 class _NullHookRuntime:
     """Hook sink for uninstrumented launches."""
 
-    def dispatch(self, name, args, mask, warp, ctx) -> None:  # pragma: no cover
+    def dispatch(self, name, args, mask, warp, ctx, nactive=None) -> None:  # pragma: no cover
         raise ExecutionError(
             f"instrumented code called hook @{name} but no hook runtime was "
             f"attached to the launch (pass hooks=... to Device.launch)"
@@ -247,6 +254,28 @@ class _NullHookRuntime:
 
     def kernel_end(self, result) -> None:
         pass
+
+
+#: Launch state for parallel shard workers; set by the parent right
+#: before the pool forks, so workers inherit it copy-on-write instead of
+#: pickling the image/device graph.
+_SHARD_PAYLOAD: Optional[dict] = None
+
+
+def _run_shard(shard_index: int) -> dict:
+    p = _SHARD_PAYLOAD
+    return p["device"]._execute_shard(
+        p["image"],
+        p["kernel_name"],
+        p["grid3"],
+        p["block3"],
+        p["bound_args"],
+        p["hooks"],
+        p["l1_warps_per_cta"],
+        p["warps_per_cta"],
+        p["shards"][shard_index],
+        p["base_mem"],
+    )
 
 
 Dim = Union[int, Tuple[int, ...]]
@@ -280,6 +309,8 @@ class Device:
         self.scheduler = "gto"
         self.scheduler_quantum = 48  # max instructions per warp per visit
         self.max_steps = 200_000_000
+        #: >=2 shards CTAs across worker processes in Device.launch.
+        self.parallel_workers: Optional[int] = None
 
     # -- memory API (used by the host runtime) ---------------------------------
     def malloc(self, nbytes: int, tag: str = "") -> DevicePointer:
@@ -324,6 +355,12 @@ class Device:
         paper): warps with index >= threshold bypass L1.
         ``pc_sampler`` attaches a :class:`~repro.profiler.pc_sampling.
         PCSampler` (the sparse hardware-sampling baseline).
+
+        With ``self.parallel_workers >= 2`` eligible launches shard
+        their SMs across forked worker processes; traces and statistics
+        are merged back in SM order so the result is identical to a
+        serial run (launches whose CTAs write overlapping global memory
+        fall back to serial execution).
         """
         start = time.perf_counter()
         kernel = image.kernel(kernel_name)
@@ -339,15 +376,74 @@ class Device:
         warps_per_cta = (threads_per_cta + warp_size - 1) // warp_size
         num_ctas = grid3[0] * grid3[1] * grid3[2]
 
-        sms = [_SM(self.arch, self.timing_params) for _ in range(self.arch.num_sms)]
+        hooks.kernel_begin(
+            {
+                "kernel": kernel_name,
+                "grid": grid3,
+                "block": block3,
+                "image": image,
+                "num_ctas": num_ctas,
+                "warps_per_cta": warps_per_cta,
+            }
+        )
 
-        # Build CTAs and assign round-robin to SMs.
+        result = None
+        if self._parallel_eligible(hooks, pc_sampler, num_ctas):
+            result = self._launch_parallel(
+                image, kernel_name, grid3, block3, bound_args, hooks,
+                l1_warps_per_cta, warps_per_cta, num_ctas, start,
+            )
+        if result is None:
+            sms = self._build_sms(
+                image, kernel_name, grid3, block3, bound_args, hooks,
+                l1_warps_per_cta, pc_sampler, warps_per_cta, None,
+            )
+            total_steps = 0
+            for index in sorted(sms):
+                total_steps += self._run_sm(
+                    sms[index], image, total_budget=self.max_steps
+                )
+            result = self._collect_result(
+                kernel_name, grid3, block3, sms, total_steps, num_ctas,
+                warps_per_cta, start,
+            )
+        hooks.kernel_end(result)
+        return result
+
+    def _build_sms(
+        self,
+        image: DeviceModuleImage,
+        kernel_name: str,
+        grid3: Tuple[int, int, int],
+        block3: Tuple[int, int, int],
+        bound_args: List[object],
+        hooks,
+        l1_warps_per_cta: Optional[int],
+        pc_sampler,
+        warps_per_cta: int,
+        sm_indices: Optional[Sequence[int]],
+    ) -> Dict[int, _SM]:
+        """Build SMs and their CTAs, round-robin over the full grid.
+
+        ``sm_indices`` restricts construction to a shard of SMs; CTA
+        linear ids and global warp ids still advance over skipped CTAs,
+        so a shard's warps are indistinguishable from a full build.
+        """
+        decoded = image.decoded[kernel_name]
+        warp_size = self.arch.warp_size
+        num_sms = self.arch.num_sms
+        wanted = range(num_sms) if sm_indices is None else sm_indices
+        sms = {i: _SM(self.arch, self.timing_params) for i in wanted}
         global_warp_id = 0
         cta_linear = 0
         for cz in range(grid3[2]):
             for cy in range(grid3[1]):
                 for cx in range(grid3[0]):
-                    sm = sms[cta_linear % len(sms)]
+                    sm = sms.get(cta_linear % num_sms)
+                    if sm is None:
+                        cta_linear += 1
+                        global_warp_id += warps_per_cta
+                        continue
                     ctx = _CTAContext(
                         image,
                         self.arch,
@@ -371,52 +467,191 @@ class Device:
                             w * warp_size,
                         )
                         warp.local_mem = LocalMemory(warp_size)
-                        frame = warp.push_frame(kernel, warp.resident_mask)
-                        for arg_value, formal in zip(bound_args, kernel.args):
-                            frame.regs[id(formal)] = arg_value
+                        frame = warp.push_frame(decoded, warp.resident_mask)
+                        for arg_value, slot in zip(bound_args, decoded.arg_slots):
+                            frame.regs[slot] = arg_value
                         ctx.warps.append(warp)
                         global_warp_id += 1
                     sm.pending.append(ctx)
                     cta_linear += 1
+        return sms
 
-        hooks.kernel_begin(
-            {
-                "kernel": kernel_name,
-                "grid": grid3,
-                "block": block3,
-                "image": image,
-                "num_ctas": num_ctas,
-                "warps_per_cta": warps_per_cta,
-            }
-        )
-
-        total_steps = 0
-        for sm in sms:
-            total_steps += self._run_sm(sm, image, total_budget=self.max_steps)
-
+    def _collect_result(
+        self,
+        kernel_name: str,
+        grid3: Tuple[int, int, int],
+        block3: Tuple[int, int, int],
+        sms: Dict[int, _SM],
+        total_steps: int,
+        num_ctas: int,
+        warps_per_cta: int,
+        start: float,
+    ) -> LaunchResult:
         result = LaunchResult(
             kernel=kernel_name,
             grid=grid3,
             block=block3,
-            cycles=max(sm.timing.cycles for sm in sms),
+            cycles=max(sm.timing.cycles for sm in sms.values()),
             instructions=total_steps,
             transactions=sum(
-                c.transactions for sm in sms for c in sm.resident
+                c.transactions for sm in sms.values() for c in sm.resident
             ),
-            cache=self._merge_cache_stats(sms),
+            cache=self._merge_cache_stats(list(sms.values())),
             branches=0,
             divergent_branches=0,
             wall_seconds=time.perf_counter() - start,
             num_ctas=num_ctas,
             warps_per_cta=warps_per_cta,
         )
-        for sm in sms:
+        for sm in sms.values():
             for ctx in sm.resident:
                 for warp in ctx.warps:
                     result.branches += warp.branch_count
                     result.divergent_branches += warp.divergent_branch_count
-        hooks.kernel_end(result)
         return result
+
+    # -- parallel launch ----------------------------------------------------------
+    def _parallel_eligible(self, hooks, pc_sampler, num_ctas: int) -> bool:
+        workers = self.parallel_workers
+        if not workers or workers < 2 or num_ctas < 2:
+            return False
+        if pc_sampler is not None:
+            return False
+        # Event sampling keeps one global counter; sharding would change
+        # which events are sampled.
+        if getattr(hooks, "sample_rate", 1) != 1:
+            return False
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _launch_parallel(
+        self,
+        image: DeviceModuleImage,
+        kernel_name: str,
+        grid3: Tuple[int, int, int],
+        block3: Tuple[int, int, int],
+        bound_args: List[object],
+        hooks,
+        l1_warps_per_cta: Optional[int],
+        warps_per_cta: int,
+        num_ctas: int,
+        start: float,
+    ) -> Optional[LaunchResult]:
+        """Shard SMs across forked workers; None means fall back to serial."""
+        global _SHARD_PAYLOAD
+        num_sms = self.arch.num_sms
+        workers = min(self.parallel_workers, num_sms)
+        # Contiguous SM ranges: concatenating shard traces in shard
+        # order reproduces the serial SM-major event order.
+        bounds = np.linspace(0, num_sms, workers + 1, dtype=int)
+        shards = [
+            list(range(bounds[i], bounds[i + 1]))
+            for i in range(workers)
+            if bounds[i] < bounds[i + 1]
+        ]
+        base_mem = self.memory._buf.copy()
+        _SHARD_PAYLOAD = {
+            "device": self,
+            "image": image,
+            "kernel_name": kernel_name,
+            "grid3": grid3,
+            "block3": block3,
+            "bound_args": bound_args,
+            "hooks": hooks,
+            "l1_warps_per_cta": l1_warps_per_cta,
+            "warps_per_cta": warps_per_cta,
+            "shards": shards,
+            "base_mem": base_mem,
+        }
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=len(shards), mp_context=ctx
+            ) as pool:
+                shard_results = list(pool.map(_run_shard, range(len(shards))))
+        finally:
+            _SHARD_PAYLOAD = None
+
+        # CTAs in different shards wrote overlapping bytes: the merge
+        # cannot reproduce the serial interleaving, so rerun serially
+        # (device memory is still untouched here in the parent).
+        dirty = np.concatenate([r["dirty_idx"] for r in shard_results])
+        if np.unique(dirty).size != dirty.size:
+            return None
+        for r in shard_results:
+            self.memory._buf[r["dirty_idx"]] = r["dirty_bytes"]
+
+        cache = CacheStats()
+        for r in shard_results:
+            cache.merge(r["cache"])
+        result = LaunchResult(
+            kernel=kernel_name,
+            grid=grid3,
+            block=block3,
+            cycles=max(r["cycles"] for r in shard_results),
+            instructions=sum(r["steps"] for r in shard_results),
+            transactions=sum(r["transactions"] for r in shard_results),
+            cache=cache,
+            branches=sum(r["branches"] for r in shard_results),
+            divergent_branches=sum(r["divergent"] for r in shard_results),
+            wall_seconds=time.perf_counter() - start,
+            num_ctas=num_ctas,
+            warps_per_cta=warps_per_cta,
+        )
+        states = [r["hooks"] for r in shard_results if r["hooks"] is not None]
+        if states:
+            hooks.absorb_shards(states)
+        return result
+
+    def _execute_shard(
+        self,
+        image: DeviceModuleImage,
+        kernel_name: str,
+        grid3: Tuple[int, int, int],
+        block3: Tuple[int, int, int],
+        bound_args: List[object],
+        hooks,
+        l1_warps_per_cta: Optional[int],
+        warps_per_cta: int,
+        sm_indices: Sequence[int],
+        base_mem: np.ndarray,
+    ) -> dict:
+        """Run one shard of SMs inside a forked worker process."""
+        # A pool worker can run several shards; each starts from the
+        # pre-launch memory state captured at fork time.
+        self.memory._buf[:] = base_mem
+        if hasattr(hooks, "reset_for_shard"):
+            hooks.reset_for_shard()
+        sms = self._build_sms(
+            image, kernel_name, grid3, block3, bound_args, hooks,
+            l1_warps_per_cta, None, warps_per_cta, sm_indices,
+        )
+        steps = 0
+        for index in sorted(sms):
+            steps += self._run_sm(sms[index], image, total_budget=self.max_steps)
+        dirty = np.flatnonzero(self.memory._buf != base_mem).astype(np.int64)
+        branches = divergent = 0
+        for sm in sms.values():
+            for ctx in sm.resident:
+                for warp in ctx.warps:
+                    branches += warp.branch_count
+                    divergent += warp.divergent_branch_count
+        return {
+            "steps": steps,
+            "cycles": max(sm.timing.cycles for sm in sms.values()),
+            "transactions": sum(
+                c.transactions for sm in sms.values() for c in sm.resident
+            ),
+            "cache": self._merge_cache_stats(list(sms.values())),
+            "branches": branches,
+            "divergent": divergent,
+            "dirty_idx": dirty,
+            "dirty_bytes": self.memory._buf[dirty].copy(),
+            "hooks": (
+                hooks.export_shard()
+                if hasattr(hooks, "export_shard")
+                else None
+            ),
+        }
 
     def _merge_cache_stats(self, sms: List[_SM]) -> CacheStats:
         merged = CacheStats()

@@ -1,12 +1,16 @@
-"""The warp-level IR interpreter.
+"""The warp-level micro-op interpreter.
 
-Executes one instruction per call for a whole warp: every value is a
-32-lane numpy vector and every operation applies to all lanes at once,
-which is both the literal SIMT execution model and the reason the
+Executes one pre-decoded micro-op per call for a whole warp: every value
+is a 32-lane numpy vector and every operation applies to all lanes at
+once, which is both the literal SIMT execution model and the reason the
 simulator is fast enough to run the paper's benchmark suite.
 
-Instrumentation hooks (functions with kind ``"hook"``) inserted by the
-engine's passes are dispatched to the launch's
+All per-instruction decode work (type dispatch, operand resolution,
+constant materialization, branch-target/phi-move lookup) happens once at
+module load time in :mod:`repro.gpu.decode`; the step loop here just
+indexes the current micro-op and calls its bound handler. Instrumentation
+hooks (functions with kind ``"hook"``) inserted by the engine's passes
+are dispatched to the launch's
 :class:`~repro.profiler.profiler.HookRuntime`; the interpreter itself
 collects nothing beyond hardware-level cache/timing statistics -- all
 profiling data flows through the instrumented calls, as in the paper.
@@ -14,642 +18,99 @@ profiling data flows through the instrumented calls, as in the paper.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
-
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.gpu.coalescing import coalesce
+from repro.gpu.decode import BarrierReached
 from repro.gpu.simt import Frame, StackEntry, Warp, WarpStatus
-from repro.ir.debuginfo import DebugLoc
-from repro.ir.instructions import (
-    Alloca,
-    AtomicOp,
-    AtomicRMW,
-    BinOp,
-    Br,
-    CacheOp,
-    Call,
-    Cast,
-    CastKind,
-    CmpPred,
-    CondBr,
-    FCmp,
-    GetElementPtr,
-    ICmp,
-    Instruction,
-    Load,
-    Opcode,
-    Phi,
-    Ret,
-    Select,
-    Store,
+from repro.gpu.vecops import (
+    _active_and_nonzero,
+    _apply_atomic,
+    _apply_binop,
+    _apply_cmp,
+    _apply_math,
+    _bank_conflict_degree,
 )
-from repro.ir.types import AddressSpace, PointerType
-from repro.ir.values import Argument, Constant, GlobalString, GlobalVariable, Value
 
-_I64 = np.int64
-
-
-class BarrierReached(Exception):
-    """Internal signal: the warp must wait at a CTA barrier."""
+__all__ = [
+    "BarrierReached",
+    "WarpInterpreter",
+    "_active_and_nonzero",
+    "_apply_atomic",
+    "_apply_binop",
+    "_apply_cmp",
+    "_apply_math",
+    "_bank_conflict_degree",
+]
 
 
 class WarpInterpreter:
-    """Interprets instructions for warps of one CTA."""
+    """Interprets pre-decoded micro-ops for warps of one CTA."""
 
     def __init__(self, exec_ctx):
         """``exec_ctx`` is a :class:`repro.gpu.device._CTAContext`."""
         self.ctx = exec_ctx
         self.image = exec_ctx.image
-        self.arch = exec_ctx.arch
-        self._dispatch: Dict[type, Callable] = {
-            Alloca: self._exec_alloca,
-            Load: self._exec_load,
-            Store: self._exec_store,
-            GetElementPtr: self._exec_gep,
-            BinOp: self._exec_binop,
-            ICmp: self._exec_icmp,
-            FCmp: self._exec_fcmp,
-            Cast: self._exec_cast,
-            Select: self._exec_select,
-            AtomicRMW: self._exec_atomic,
-            Call: self._exec_call,
-            Br: self._exec_br,
-            CondBr: self._exec_condbr,
-            Ret: self._exec_ret,
-            Phi: self._exec_phi,
-        }
-
-    # -- value plumbing ---------------------------------------------------------
-    def value_of(self, frame: Frame, v: Value):
-        if isinstance(v, Constant):
-            cached = getattr(v, "_np_cache", None)
-            if cached is None:
-                cached = v.type.numpy_dtype().type(v.value)
-                v._np_cache = cached
-            return cached
-        if isinstance(v, (GlobalVariable, GlobalString)):
-            return _I64(self.image.address_of(v))
-        reg = frame.regs.get(id(v))
-        if reg is None:
-            raise ExecutionError(
-                f"read of undefined value %{v.name} in @{frame.function.name}"
-            )
-        return reg
-
-    def _define(self, frame: Frame, inst: Instruction, value) -> None:
-        frame.regs[id(inst)] = value
-
-    def _vector(self, value, dtype=None) -> np.ndarray:
-        """Broadcast a scalar register to a full lane vector."""
-        if np.ndim(value) == 0:
-            return np.full(self.arch.warp_size, value, dtype=dtype or np.asarray(value).dtype)
-        return value
+        arch = exec_ctx.arch
+        self.arch = arch
+        # Hot-loop caches: attribute chains resolved once per CTA.
+        self.warp_size = arch.warp_size
+        self.line_size = arch.l1_line_size
+        self.l2_latency = arch.l2_latency
+        self.timing = exec_ctx.timing
+        self.pc_sampler = exec_ctx.pc_sampler
 
     # -- main step ---------------------------------------------------------------
     def step(self, warp: Warp):
-        """Execute one instruction of ``warp``; updates its state.
+        """Execute one micro-op of ``warp``; updates its state.
 
         Returns ``"mem"`` when the instruction was a global-memory
         access (the scheduler's greedy-then-oldest policy rotates warps
         at these long-latency points), else ``None``.
         """
-        frame = warp.current_frame
-        if not frame.stack:
+        frame = warp.frames[-1]
+        stack = frame.stack
+        if not stack:
             self._pop_frame(warp)
             return
-        entry = frame.top
-        if entry.block is None:
+        entry = stack[-1]
+        block = entry.block
+        if block is None:
             raise ExecutionError(
                 f"unstructured control flow in @{frame.function.name}: lanes "
                 f"waiting at a branch whose paths never reconverge or return"
             )
-        if entry.index >= len(entry.block.instructions):
-            raise ExecutionError(
-                f"fell off the end of block {entry.block.name} "
-                f"in @{frame.function.name}"
-            )
-        inst = entry.block.instructions[entry.index]
-        mask = entry.mask & ~frame.returned_mask
-        if not mask.any():
-            frame.stack.pop()
+        mask = entry.amask
+        if mask is None:
+            mask = entry.mask & ~frame.returned_mask
+            entry.amask = mask
+            entry.nactive = int(mask.sum())
+        if not entry.nactive:
+            stack.pop()
             return None
 
+        op = block.ops[entry.index]
         warp.instructions_executed += 1
-        self.ctx.timing.issue()
-        sampler = self.ctx.pc_sampler
+        self.timing.issue()
+        sampler = self.pc_sampler
         if sampler is not None:
-            sampler.tick(warp, frame.function.name, inst.debug_loc)
-        handler = self._dispatch.get(type(inst))
-        if handler is None:
-            raise ExecutionError(f"cannot execute instruction {inst!r}")
-        return handler(warp, frame, entry, inst, mask)
-
-    # -- straight-line instructions -------------------------------------------------
-    def _exec_alloca(self, warp, frame, entry, inst: Alloca, mask) -> None:
-        size = inst.element_type.size_bytes()
-        addr = (frame.sp + size - 1) // size * size
-        frame.sp = addr + size * inst.count
-        if frame.sp > warp.local_mem.arena_size:
-            raise ExecutionError("kernel thread stack overflow (too many allocas)")
-        self._define(frame, inst, _I64(addr))
-        entry.index += 1
-
-    def _exec_gep(self, warp, frame, entry, inst: GetElementPtr, mask) -> None:
-        base = self.value_of(frame, inst.base)
-        index = self.value_of(frame, inst.index)
-        size = inst.type.pointee.size_bytes()
-        self._define(frame, inst, base + index.astype(_I64) * size)
-        entry.index += 1
-
-    def _exec_load(self, warp, frame, entry, inst: Load, mask) -> None:
-        space = inst.pointer.type.addrspace
-        addrs = self._vector(self.value_of(frame, inst.pointer), _I64)
-        dtype = inst.type.numpy_dtype()
-        if space == AddressSpace.GLOBAL:
-            self._model_global_access(warp, inst, addrs, mask, dtype.itemsize, False)
-            data = self.ctx.global_mem.gather(addrs, mask, dtype)
-        elif space == AddressSpace.SHARED:
-            self.ctx.timing.shared_access(_bank_conflict_degree(addrs, mask))
-            data = self.ctx.shared_mem.gather(addrs, mask, dtype)
-        elif space == AddressSpace.LOCAL:
-            data = warp.local_mem.gather(addrs, mask, dtype)
-        elif space == AddressSpace.CONSTANT:
-            data = self.image.constant_gather(addrs, mask, dtype)
-        else:
-            raise ExecutionError(f"load from unsupported address space {space}")
-        self._define(frame, inst, data)
-        entry.index += 1
-        return "mem" if space == AddressSpace.GLOBAL else None
-
-    def _exec_store(self, warp, frame, entry, inst: Store, mask) -> None:
-        space = inst.pointer.type.addrspace
-        addrs = self._vector(self.value_of(frame, inst.pointer), _I64)
-        dtype = inst.value.type.numpy_dtype()
-        values = self._vector(self.value_of(frame, inst.value), dtype)
-        if values.dtype != dtype:
-            values = values.astype(dtype)
-        if space == AddressSpace.GLOBAL:
-            self._model_global_access(warp, inst, addrs, mask, dtype.itemsize, True)
-            self.ctx.global_mem.scatter(addrs, mask, values)
-        elif space == AddressSpace.SHARED:
-            self.ctx.timing.shared_access(_bank_conflict_degree(addrs, mask))
-            self.ctx.shared_mem.scatter(addrs, mask, values)
-        elif space == AddressSpace.LOCAL:
-            warp.local_mem.scatter(addrs, mask, values)
-        else:
-            raise ExecutionError(f"store to unsupported address space {space}")
-        entry.index += 1
-        return "mem" if space == AddressSpace.GLOBAL else None
-
-    def _model_global_access(
-        self, warp, inst, addrs: np.ndarray, mask: np.ndarray, width: int, is_write: bool
-    ) -> None:
-        """Coalesce and send transactions through L1 + MSHRs + timing."""
-        lines = coalesce(addrs, mask, width, self.arch.l1_line_size)
-        # Atomics always go to L2 on GPUs; loads/stores follow cache_op.
-        cache_op = getattr(inst, "cache_op", CacheOp.CACHE_GLOBAL)
-        bypass = self._bypasses_l1(warp, cache_op)
-        l1 = self.ctx.l1
-        timing = self.ctx.timing
-        hits = misses = bypassed = 0
-        for line in lines:
-            line = int(line)
-            if is_write:
-                hit = l1.write(line, bypass)
-            else:
-                hit = l1.read(line, bypass)
-            if bypass:
-                bypassed += 1
-            elif hit:
-                hits += 1
-            else:
-                misses += 1
-                if not self.ctx.mshr.request(
-                    line, timing.cycles, self.arch.l2_latency
-                ):
-                    timing.mshr_failure()
-        timing.global_transactions(hits, misses, bypassed)
-        self.ctx.record_transactions(len(lines))
-
-    def _bypasses_l1(self, warp, cache_op: CacheOp) -> bool:
-        if cache_op == CacheOp.CACHE_GLOBAL:
-            return True
-        if cache_op == CacheOp.DYNAMIC:
-            threshold = self.ctx.l1_warps_per_cta
-            if threshold is None:
-                return False
-            return warp.warp_in_cta >= threshold
-        return False
-
-    def _exec_binop(self, warp, frame, entry, inst: BinOp, mask) -> None:
-        lhs = self.value_of(frame, inst.lhs)
-        rhs = self.value_of(frame, inst.rhs)
-        self._define(frame, inst, _apply_binop(inst.opcode, lhs, rhs, mask))
-        entry.index += 1
-
-    def _exec_icmp(self, warp, frame, entry, inst: ICmp, mask) -> None:
-        lhs = self.value_of(frame, inst.lhs)
-        rhs = self.value_of(frame, inst.rhs)
-        self._define(frame, inst, _apply_cmp(inst.pred, lhs, rhs))
-        entry.index += 1
-
-    _exec_fcmp = _exec_icmp
-
-    def _exec_cast(self, warp, frame, entry, inst: Cast, mask) -> None:
-        value = self.value_of(frame, inst.value)
-        dtype = inst.type.numpy_dtype()
-        kind = inst.kind
-        if kind in (CastKind.BITCAST, CastKind.PTRTOINT, CastKind.INTTOPTR):
-            result = value  # pointers and i64 share representation
-            if np.ndim(value) and value.dtype != dtype and kind == CastKind.BITCAST:
-                result = value.view(dtype)
-        elif kind == CastKind.TRUNC and inst.type.is_bool:
-            result = (np.asarray(value) & 1).astype(np.bool_)
-        else:
-            result = np.asarray(value).astype(dtype)
-        self._define(frame, inst, result)
-        entry.index += 1
-
-    def _exec_select(self, warp, frame, entry, inst: Select, mask) -> None:
-        cond = self._vector(self.value_of(frame, inst.cond), np.bool_)
-        a = self.value_of(frame, inst.iftrue)
-        b = self.value_of(frame, inst.iffalse)
-        self._define(frame, inst, np.where(cond, a, b))
-        entry.index += 1
-
-    def _exec_phi(self, warp, frame, entry, inst: Phi, mask) -> None:
-        # Phis never execute: their registers are written by the parallel
-        # phi-moves performed on each traversed CFG edge (_phi_moves).
-        # Reaching one means a branch forgot to skip the phi prefix.
-        raise ExecutionError(
-            f"phi reached by sequential execution in {entry.block.name}"
-        )
-
-    def _phi_moves(self, frame: Frame, from_block, to_block, mask) -> None:
-        """Parallel-copy semantics for the edge from_block -> to_block.
-
-        All incoming values are read before any phi register is written,
-        and only ``mask`` lanes are updated (predicated writes, which is
-        how hardware realises SSA merges under divergence).
-        """
-        moves = []
-        for inst in to_block.instructions:
-            if not isinstance(inst, Phi):
-                break
-            chosen = None
-            for value, block in inst.incoming:
-                if block is from_block:
-                    chosen = value
-                    break
-            if chosen is None:
-                raise ExecutionError(
-                    f"phi in {to_block.name} lacks an arm for "
-                    f"{from_block.name}"
-                )
-            moves.append(
-                (inst, self._vector(self.value_of(frame, chosen),
-                                    inst.type.numpy_dtype()))
-            )
-        for inst, incoming in moves:
-            previous = frame.regs.get(id(inst))
-            if previous is None:
-                result = incoming.copy()
-            else:
-                result = np.where(mask, incoming, previous)
-            frame.regs[id(inst)] = result
-
-    def _exec_atomic(self, warp, frame, entry, inst: AtomicRMW, mask) -> None:
-        space = inst.pointer.type.addrspace
-        addrs = self._vector(self.value_of(frame, inst.pointer), _I64)
-        dtype = inst.value.type.numpy_dtype()
-        values = self._vector(self.value_of(frame, inst.value), dtype)
-        if values.dtype != dtype:
-            values = values.astype(dtype)
-
-        if space == AddressSpace.GLOBAL:
-            arena = self.ctx.global_mem
-            self._model_global_access(warp, inst, addrs, mask, dtype.itemsize, True)
-        elif space == AddressSpace.SHARED:
-            arena = self.ctx.shared_mem
-            self.ctx.timing.shared_access(_bank_conflict_degree(addrs, mask))
-        else:
-            raise ExecutionError(f"atomic on unsupported address space {space}")
-
-        lanes = np.flatnonzero(mask)
-        self.ctx.timing.atomic(len(lanes))
-        old = np.zeros(self.arch.warp_size, dtype=dtype)
-        one = np.ones(1, dtype=bool)
-        for lane in lanes:
-            addr = addrs[lane: lane + 1]
-            current = arena.gather(addr, one, dtype)[0]
-            old[lane] = current
-            new = _apply_atomic(inst.op, current, values[lane])
-            arena.scatter(addr, one, np.array([new], dtype=dtype))
-        self._define(frame, inst, old)
-        entry.index += 1
-        return "mem" if space == AddressSpace.GLOBAL else None
-
-    # -- calls ---------------------------------------------------------------------
-    def _exec_call(self, warp, frame, entry, inst: Call, mask) -> None:
-        callee = inst.callee
-        if callee.kind == "intrinsic":
-            if callee.name == "nvvm.barrier0":
-                live = warp.resident_mask & ~frame.returned_mask
-                if not np.array_equal(mask, live):
-                    raise ExecutionError(
-                        "__syncthreads() reached under divergent control "
-                        f"flow in @{frame.function.name} (undefined in CUDA)"
-                    )
-                entry.index += 1  # resume after the barrier
-                raise BarrierReached()
-            result = self._exec_intrinsic(warp, frame, inst, mask)
-            if result is not None:
-                self._define(frame, inst, result)
-            entry.index += 1
-            return
-        if callee.kind == "hook":
-            args = [self.value_of(frame, a) for a in inst.args]
-            self.ctx.timing.hook_call(int(mask.sum()))
-            self.ctx.hooks.dispatch(callee.name, args, mask, warp, self.ctx)
-            entry.index += 1
-            return
-        if callee.is_declaration:
-            raise ExecutionError(f"call to undefined function @{callee.name}")
-        # Real device-function call: push a frame.
-        entry.index += 1  # resume after the call on return
-        new_frame = warp.push_frame(callee, mask, call_inst=inst)
-        for arg, actual in zip(callee.args, inst.args):
-            value = self.value_of(frame, actual)
-            new_frame.regs[id(arg)] = value
-
-    def _exec_intrinsic(self, warp: Warp, frame, inst: Call, mask):
-        name = inst.callee.name
-        ctx = self.ctx
-        if name == "nvvm.tid.x":
-            return warp.tid_x
-        if name == "nvvm.tid.y":
-            return warp.tid_y
-        if name == "nvvm.tid.z":
-            return warp.tid_z
-        if name == "nvvm.ctaid.x":
-            return np.int32(warp.cta_id[0])
-        if name == "nvvm.ctaid.y":
-            return np.int32(warp.cta_id[1])
-        if name == "nvvm.ctaid.z":
-            return np.int32(warp.cta_id[2])
-        if name == "nvvm.ntid.x":
-            return np.int32(warp.block_dim[0])
-        if name == "nvvm.ntid.y":
-            return np.int32(warp.block_dim[1])
-        if name == "nvvm.ntid.z":
-            return np.int32(warp.block_dim[2])
-        if name == "nvvm.nctaid.x":
-            return np.int32(warp.grid_dim[0])
-        if name == "nvvm.nctaid.y":
-            return np.int32(warp.grid_dim[1])
-        if name == "nvvm.nctaid.z":
-            return np.int32(warp.grid_dim[2])
-        if name == "nvvm.warpsize":
-            return np.int32(self.arch.warp_size)
-        if name == "nvvm.laneid":
-            return np.arange(self.arch.warp_size, dtype=np.int32)
-        if name == "nvvm.warpid":
-            return np.int32(warp.warp_in_cta)
-        if name == "nvvm.barrier0":
-            raise BarrierReached()
-        if name.startswith("nv."):
-            args = [
-                self._vector(self.value_of(frame, a)) for a in inst.args
-            ]
-            return _apply_math(name, args, mask)
-        raise ExecutionError(f"unknown intrinsic @{name}")
-
-    # -- control flow ------------------------------------------------------------------
-    def _branch_to(self, warp, frame, entry: StackEntry, target, mask) -> None:
-        came_from = entry.block
-        self._phi_moves(frame, came_from, target, mask)
-        if entry.reconv is target:
-            # This path reached its reconvergence point; its lanes are
-            # already represented in the waiting entry's union mask.
-            frame.stack.pop()
-            return
-        entry.block = target
-        entry.index = self.image.first_non_phi(target)
-        entry.came_from = came_from
-
-    def _exec_br(self, warp, frame, entry, inst: Br, mask) -> None:
-        self._branch_to(warp, frame, entry, inst.target, mask)
-
-    def _exec_condbr(self, warp, frame, entry, inst: CondBr, mask) -> None:
-        warp.branch_count += 1
-        cond = self._vector(self.value_of(frame, inst.cond), np.bool_)
-        taken = cond & mask
-        not_taken = ~cond & mask
-        if not not_taken.any():
-            self._branch_to(warp, frame, entry, inst.iftrue, mask)
-            return
-        if not taken.any():
-            self._branch_to(warp, frame, entry, inst.iffalse, mask)
-            return
-
-        # Divergence: retarget this entry to the reconvergence point and
-        # push one entry per path (paths that start at the reconvergence
-        # point just wait there -- their lanes stay in this entry's mask).
-        warp.divergent_branch_count += 1
-        reconv = self.image.ipostdom(frame.function, entry.block)
-        came_from = entry.block
-        entry.block = reconv  # may be None: wait for returns
-        entry.index = self.image.first_non_phi(reconv) if reconv else 0
-        entry.came_from = came_from
-        for target, path_mask in ((inst.iffalse, not_taken), (inst.iftrue, taken)):
-            self._phi_moves(frame, came_from, target, path_mask)
-            if target is not reconv:
-                e = StackEntry(
-                    target, self.image.first_non_phi(target), reconv, path_mask
-                )
-                e.came_from = came_from
-                frame.stack.append(e)
-
-    def _exec_ret(self, warp, frame, entry, inst: Ret, mask) -> None:
-        if inst.value is not None:
-            value = self._vector(
-                self.value_of(frame, inst.value),
-                frame.function.return_type.numpy_dtype(),
-            )
-            if frame.ret_values is None:
-                frame.ret_values = value.copy()
-            else:
-                frame.ret_values = np.where(mask, value, frame.ret_values)
-        warp.retire_lanes(mask)
-        if not frame.stack:
-            self._pop_frame(warp)
+            sampler.tick(warp, frame.function.name, op.loc)
+        return op.run(op, self, warp, frame, entry, mask)
 
     def _pop_frame(self, warp: Warp) -> None:
         frame = warp.frames.pop()
         if not warp.frames:
             warp.status = WarpStatus.DONE
             return
-        caller = warp.current_frame
-        if frame.call_inst is not None and not frame.call_inst.type.is_void:
+        caller = warp.frames[-1]
+        if frame.ret_slot is not None:
             result = frame.ret_values
             if result is None:
                 raise ExecutionError(
                     f"@{frame.function.name} returned no value"
                 )
-            previous = caller.regs.get(id(frame.call_inst))
+            previous = caller.regs[frame.ret_slot]
             if previous is not None:
                 result = np.where(frame.returned_mask, result, previous)
-            caller.regs[id(frame.call_inst)] = result
+            caller.regs[frame.ret_slot] = result
         caller.sp = frame.base_sp  # rewind the local stack
-
-
-def _bank_conflict_degree(addrs: np.ndarray, mask: np.ndarray) -> int:
-    """Shared memory is banked (32 banks, 4-byte words): lanes hitting
-    different words of the same bank serialize. Returns the worst-case
-    bank multiplicity (1 = conflict-free; broadcasts of the *same* word
-    are free, as on hardware)."""
-    if not mask.any():
-        return 1
-    words = addrs[mask] // 4
-    unique_words = np.unique(words)
-    if len(unique_words) <= 1:
-        return 1  # single word: broadcast
-    banks = unique_words % 32
-    _, counts = np.unique(banks, return_counts=True)
-    return int(counts.max())
-
-
-# -- pure vector semantics ----------------------------------------------------------
-def _apply_binop(opcode: Opcode, lhs, rhs, mask) -> np.ndarray:
-    lhs = np.asarray(lhs)
-    rhs = np.asarray(rhs)
-    if opcode == Opcode.ADD:
-        return lhs + rhs
-    if opcode == Opcode.SUB:
-        return lhs - rhs
-    if opcode == Opcode.MUL:
-        return lhs * rhs
-    if opcode == Opcode.FADD:
-        return lhs + rhs
-    if opcode == Opcode.FSUB:
-        return lhs - rhs
-    if opcode == Opcode.FMUL:
-        return lhs * rhs
-    if opcode == Opcode.AND:
-        return lhs & rhs
-    if opcode == Opcode.OR:
-        return lhs | rhs
-    if opcode == Opcode.XOR:
-        return lhs ^ rhs
-    if opcode == Opcode.SHL:
-        return lhs << rhs
-    if opcode in (Opcode.LSHR, Opcode.ASHR):
-        # ASHR on signed dtypes is arithmetic in numpy; LSHR shifts the
-        # same-width *unsigned* reinterpretation (sign-extending through
-        # a wider type would smear the sign bits back in).
-        if opcode == Opcode.LSHR:
-            unsigned_dtype = np.dtype(f"u{lhs.dtype.itemsize}")
-            unsigned = lhs.view(unsigned_dtype) if lhs.ndim else np.asarray(
-                lhs
-            ).astype(lhs.dtype).view(unsigned_dtype)
-            shifted = unsigned >> rhs.astype(unsigned_dtype)
-            return shifted.view(lhs.dtype) if shifted.ndim else np.asarray(
-                shifted
-            ).astype(lhs.dtype)
-        return lhs >> rhs
-    if opcode == Opcode.SMIN or opcode == Opcode.FMIN:
-        return np.minimum(lhs, rhs)
-    if opcode == Opcode.SMAX or opcode == Opcode.FMAX:
-        return np.maximum(lhs, rhs)
-    if opcode == Opcode.FDIV:
-        safe_rhs = np.where(_active_and_nonzero(rhs, mask), rhs, np.ones_like(rhs))
-        with np.errstate(divide="ignore", invalid="ignore"):
-            return lhs / safe_rhs
-    if opcode == Opcode.FREM:
-        safe_rhs = np.where(_active_and_nonzero(rhs, mask), rhs, np.ones_like(rhs))
-        return np.fmod(lhs, safe_rhs)
-    if opcode in (Opcode.SDIV, Opcode.SREM, Opcode.UDIV, Opcode.UREM):
-        safe_rhs = np.where(_active_and_nonzero(rhs, mask), rhs, np.ones_like(rhs))
-        if opcode in (Opcode.UDIV, Opcode.UREM):
-            q = (lhs.astype(np.uint64) // safe_rhs.astype(np.uint64)).astype(lhs.dtype)
-            if opcode == Opcode.UDIV:
-                return q
-            return lhs - q * safe_rhs
-        # C-style truncating signed division.
-        q = np.floor_divide(lhs, safe_rhs)
-        r = lhs - q * safe_rhs
-        adjust = (r != 0) & ((lhs < 0) ^ (safe_rhs < 0))
-        q = q + adjust.astype(q.dtype)
-        if opcode == Opcode.SDIV:
-            return q
-        return lhs - q * safe_rhs
-    raise ExecutionError(f"unhandled opcode {opcode}")
-
-
-def _active_and_nonzero(rhs, mask) -> np.ndarray:
-    nonzero = np.asarray(rhs) != 0
-    if np.ndim(nonzero) == 0:
-        return np.logical_and(nonzero, True)
-    if np.ndim(mask) and np.ndim(nonzero):
-        return nonzero & mask
-    return nonzero
-
-
-def _apply_cmp(pred: CmpPred, lhs, rhs) -> np.ndarray:
-    lhs = np.asarray(lhs)
-    rhs = np.asarray(rhs)
-    if pred == CmpPred.EQ:
-        return lhs == rhs
-    if pred == CmpPred.NE:
-        return lhs != rhs
-    if pred == CmpPred.LT:
-        return lhs < rhs
-    if pred == CmpPred.LE:
-        return lhs <= rhs
-    if pred == CmpPred.GT:
-        return lhs > rhs
-    return lhs >= rhs
-
-
-def _apply_atomic(op: AtomicOp, current, value):
-    if op == AtomicOp.ADD:
-        return current + value
-    if op == AtomicOp.SUB:
-        return current - value
-    if op == AtomicOp.MIN:
-        return min(current, value)
-    if op == AtomicOp.MAX:
-        return max(current, value)
-    if op == AtomicOp.EXCH:
-        return value
-    if op == AtomicOp.AND:
-        return current & value
-    if op == AtomicOp.OR:
-        return current | value
-    if op == AtomicOp.XOR:
-        return current ^ value
-    raise ExecutionError(f"unhandled atomic {op}")
-
-
-def _apply_math(name: str, args: List[np.ndarray], mask) -> np.ndarray:
-    a = args[0]
-    with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
-        if name in ("nv.sqrt.f32", "nv.sqrt.f64"):
-            return np.sqrt(np.where(mask & (a >= 0), a, 0)).astype(a.dtype)
-        if name in ("nv.exp.f32", "nv.exp.f64"):
-            return np.exp(a).astype(a.dtype)
-        if name in ("nv.log.f32", "nv.log.f64"):
-            return np.log(np.where(mask & (a > 0), a, 1)).astype(a.dtype)
-        if name in ("nv.fabs.f32", "nv.fabs.f64"):
-            return np.abs(a)
-        if name == "nv.floor.f32":
-            return np.floor(a).astype(a.dtype)
-        if name == "nv.pow.f32":
-            return np.power(a, args[1]).astype(a.dtype)
-        if name == "nv.fmin.f32":
-            return np.minimum(a, args[1])
-        if name == "nv.fmax.f32":
-            return np.maximum(a, args[1])
-    raise ExecutionError(f"unknown math intrinsic {name}")

@@ -8,18 +8,21 @@ with the union mask) and pushes one entry per taken path with the split
 masks; an entry is popped when it reaches its reconvergence block. The
 branch-divergence analysis of the paper (Table 3) counts exactly these
 divergence events via instrumented basic-block hooks.
+
+Frames execute pre-decoded code (:class:`repro.gpu.decode.
+DecodedFunction`): the register file is a dense list indexed by the
+slot numbers assigned at decode time, and stack entries point at
+:class:`~repro.gpu.decode.DecodedBlock` micro-op arrays.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ExecutionError
 from repro.gpu.memory import LocalMemory
-from repro.ir.module import BasicBlock, Function
 
 
 class WarpStatus(enum.Enum):
@@ -29,22 +32,28 @@ class WarpStatus(enum.Enum):
 
 
 class StackEntry:
-    """One reconvergence-stack entry: where to execute, under which mask."""
+    """One reconvergence-stack entry: where to execute, under which mask.
 
-    __slots__ = ("block", "index", "reconv", "mask", "came_from")
+    ``amask``/``nactive`` cache ``mask & ~frame.returned_mask`` (and its
+    popcount) between steps; :meth:`Warp.retire_lanes` -- the only place
+    either input changes -- invalidates them.
+    """
+
+    __slots__ = ("block", "index", "reconv", "mask", "amask", "nactive")
 
     def __init__(
         self,
-        block: BasicBlock,
+        block,
         index: int,
-        reconv: Optional[BasicBlock],
+        reconv,
         mask: np.ndarray,
     ):
         self.block = block
         self.index = index
         self.reconv = reconv
         self.mask = mask
-        self.came_from: Optional[BasicBlock] = None
+        self.amask: Optional[np.ndarray] = None
+        self.nactive = 0
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -59,24 +68,26 @@ class Frame:
 
     __slots__ = (
         "function",
+        "decoded",
         "regs",
         "stack",
         "sp",
         "base_sp",
-        "call_inst",
+        "ret_slot",
         "returned_mask",
         "ret_values",
     )
 
-    def __init__(self, function: Function, mask: np.ndarray, sp: int, call_inst=None):
-        self.function = function
-        self.regs: Dict[int, np.ndarray] = {}
+    def __init__(self, decoded, mask: np.ndarray, sp: int, ret_slot=None):
+        self.function = decoded.function
+        self.decoded = decoded
+        self.regs: List[Optional[np.ndarray]] = [None] * decoded.n_slots
         self.stack: List[StackEntry] = [
-            StackEntry(function.entry, 0, None, mask.copy())
+            StackEntry(decoded.entry, 0, None, mask.copy())
         ]
         self.sp = sp  # local-memory stack pointer (byte offset)
         self.base_sp = sp
-        self.call_inst = call_inst  # instruction in the caller to define
+        self.ret_slot = ret_slot  # caller register slot to define, or None
         self.returned_mask = np.zeros_like(mask)
         self.ret_values: Optional[np.ndarray] = None
 
@@ -87,6 +98,38 @@ class Frame:
 
 class Warp:
     """A 32-lane warp plus its execution state."""
+
+    __slots__ = (
+        "warp_size",
+        "global_warp_id",
+        "warp_in_cta",
+        "cta_id",
+        "cta_linear",
+        "block_dim",
+        "grid_dim",
+        "resident_mask",
+        "tid_x",
+        "tid_y",
+        "tid_z",
+        "linear_tid",
+        "ctaid_x",
+        "ctaid_y",
+        "ctaid_z",
+        "ntid_x",
+        "ntid_y",
+        "ntid_z",
+        "nctaid_x",
+        "nctaid_y",
+        "nctaid_z",
+        "warpid_np",
+        "lane_ids",
+        "frames",
+        "status",
+        "local_mem",
+        "instructions_executed",
+        "branch_count",
+        "divergent_branch_count",
+    )
 
     def __init__(
         self,
@@ -117,6 +160,21 @@ class Warp:
         self.tid_z = (linear // (bx * by)).astype(np.int32)
         self.linear_tid = linear.astype(np.int32)
 
+        # Launch-constant intrinsic values, materialized once per warp
+        # (register values are never mutated in place, so sharing these
+        # arrays/scalars across reads is safe).
+        self.ctaid_x = np.int32(cta_id[0])
+        self.ctaid_y = np.int32(cta_id[1])
+        self.ctaid_z = np.int32(cta_id[2])
+        self.ntid_x = np.int32(bx)
+        self.ntid_y = np.int32(by)
+        self.ntid_z = np.int32(bz)
+        self.nctaid_x = np.int32(grid_dim[0])
+        self.nctaid_y = np.int32(grid_dim[1])
+        self.nctaid_z = np.int32(grid_dim[2])
+        self.warpid_np = np.int32(warp_in_cta)
+        self.lane_ids = np.arange(warp_size, dtype=np.int32)
+
         self.frames: List[Frame] = []
         self.status = WarpStatus.READY
         self.local_mem: Optional[LocalMemory] = None  # set by the SM
@@ -125,9 +183,9 @@ class Warp:
         self.divergent_branch_count = 0
 
     # -- frame / stack plumbing ---------------------------------------------
-    def push_frame(self, function: Function, mask: np.ndarray, call_inst=None) -> Frame:
+    def push_frame(self, decoded, mask: np.ndarray, ret_slot=None) -> Frame:
         sp = self.frames[-1].sp if self.frames else 0
-        frame = Frame(function, mask, sp, call_inst)
+        frame = Frame(decoded, mask, sp, ret_slot)
         self.frames.append(frame)
         return frame
 
@@ -152,6 +210,7 @@ class Warp:
         frame.returned_mask |= mask
         for entry in frame.stack:
             entry.mask = entry.mask & ~mask
+            entry.amask = None
         while frame.stack and not frame.stack[-1].mask.any():
             frame.stack.pop()
 

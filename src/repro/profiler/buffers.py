@@ -1,16 +1,37 @@
-"""The device-resident trace buffer.
+"""The device-resident trace buffers.
 
 "CUDAAdvisor stores this trace in a buffer located in GPU's global
 memory" (Section 4.2-A); at kernel exit the buffer is copied to the
-host. :class:`DeviceTraceBuffer` models that: appends during the kernel
-(with an optional capacity, after which entries are dropped and counted,
-like a real fixed-size device buffer), then ``drain()`` at kernel end
-hands the entries to the host-side profile.
+host. Two implementations model that:
+
+* :class:`DeviceTraceBuffer` -- the original row-oriented buffer of
+  record objects (kept for tooling and tests that build traces by
+  hand).
+* The **columnar** buffers (:class:`ColumnarMemoryBuffer`,
+  :class:`ColumnarBlockBuffer`, :class:`ColumnarArithBuffer`) -- the
+  fast path the hook runtime uses. Events append into preallocated
+  structure-of-arrays numpy columns (chunked doubling growth, same
+  capacity/drop semantics), so an instrumented event costs a handful of
+  scalar stores instead of a dataclass plus two array allocations.
+  ``drain()`` hands back a :class:`MemoryColumns` /
+  :class:`BlockColumns` / :class:`ArithColumns` view that the analyzers
+  consume vectorized; each view still behaves as a sequence of the
+  classic record dataclasses (materialized lazily per index) for
+  compatibility.
 """
 
 from __future__ import annotations
 
 from typing import Generic, List, Optional, TypeVar
+
+import numpy as np
+
+from repro.profiler.records import (
+    ArithRecord,
+    BlockRecord,
+    MemoryAccessRecord,
+    MemoryOp,
+)
 
 T = TypeVar("T")
 
@@ -41,3 +62,446 @@ class DeviceTraceBuffer(Generic[T]):
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+#: Initial allocation (rows) of a columnar buffer; doubles as it fills.
+_INITIAL_ROWS = 1024
+
+
+class _ColumnarBase:
+    """Shared capacity/drop bookkeeping and chunked growth."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self.dropped = 0
+        self.total_appended = 0
+        self._n = 0
+        self._alloc = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _next_alloc(self) -> int:
+        new = self._alloc * 2 if self._alloc else _INITIAL_ROWS
+        if self.capacity is not None:
+            new = min(new, self.capacity)
+        return max(new, self._n + 1)
+
+    def _admit(self) -> bool:
+        """Count the append; False (and a drop) when the buffer is full."""
+        self.total_appended += 1
+        if self.capacity is not None and self._n >= self.capacity:
+            self.dropped += 1
+            return False
+        return True
+
+    def _admit_bulk(self, n: int) -> int:
+        """Bulk version of :meth:`_admit`; returns rows admitted."""
+        self.total_appended += n
+        admit = n
+        if self.capacity is not None:
+            admit = max(0, min(n, self.capacity - self._n))
+        self.dropped += n - admit
+        return admit
+
+
+class MemoryColumns:
+    """Drained memory-trace columns; a lazy sequence of
+    :class:`MemoryAccessRecord` for row-oriented consumers."""
+
+    __slots__ = ("seq", "cta", "warp_in_cta", "bits", "line", "col", "op",
+                 "call_path_id", "addresses", "mask")
+
+    def __init__(self, seq, cta, warp_in_cta, bits, line, col, op,
+                 call_path_id, addresses, mask):
+        self.seq = seq
+        self.cta = cta
+        self.warp_in_cta = warp_in_cta
+        self.bits = bits
+        self.line = line
+        self.col = col
+        self.op = op
+        self.call_path_id = call_path_id
+        self.addresses = addresses  # (n, warp_size) int64
+        self.mask = mask  # (n, warp_size) bool
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def record(self, i: int) -> MemoryAccessRecord:
+        return MemoryAccessRecord(
+            seq=int(self.seq[i]),
+            cta=int(self.cta[i]),
+            warp_in_cta=int(self.warp_in_cta[i]),
+            addresses=self.addresses[i],
+            mask=self.mask[i],
+            bits=int(self.bits[i]),
+            line=int(self.line[i]),
+            col=int(self.col[i]),
+            op=MemoryOp(int(self.op[i])),
+            call_path_id=int(self.call_path_id[i]),
+        )
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self.record(j) for j in range(*i.indices(len(self)))]
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(i)
+        return self.record(i)
+
+    def __iter__(self):
+        return (self.record(i) for i in range(len(self)))
+
+
+class ColumnarMemoryBuffer(_ColumnarBase):
+    """SoA append buffer for instrumented memory accesses."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        super().__init__(capacity)
+        self._cols: Optional[tuple] = None
+        self._warp_size = 0
+
+    def _grow(self, warp_size: int) -> None:
+        new = self._next_alloc()
+        if self._cols is None:
+            self._warp_size = warp_size
+            self._cols = (
+                np.zeros(new, np.int64),  # seq
+                np.zeros(new, np.int32),  # cta
+                np.zeros(new, np.int32),  # warp_in_cta
+                np.zeros(new, np.int32),  # bits
+                np.zeros(new, np.int32),  # line
+                np.zeros(new, np.int32),  # col
+                np.zeros(new, np.int8),  # op
+                np.zeros(new, np.int64),  # call_path_id
+                np.zeros((new, warp_size), np.int64),  # addresses
+                np.zeros((new, warp_size), bool),  # mask
+            )
+        else:
+            grown = []
+            for col in self._cols:
+                shape = (new,) + col.shape[1:]
+                g = np.zeros(shape, col.dtype)
+                g[: self._n] = col[: self._n]
+                grown.append(g)
+            self._cols = tuple(grown)
+        self._alloc = new
+
+    def append(self, seq, cta, warp_in_cta, addrs, mask, bits, line, col,
+               op, call_path_id) -> bool:
+        if not self._admit():
+            return False
+        n = self._n
+        if n >= self._alloc:
+            self._grow(len(addrs))
+        c = self._cols
+        c[0][n] = seq
+        c[1][n] = cta
+        c[2][n] = warp_in_cta
+        c[3][n] = bits
+        c[4][n] = line
+        c[5][n] = col
+        c[6][n] = op
+        c[7][n] = call_path_id
+        c[8][n] = addrs
+        c[9][n] = mask
+        self._n = n + 1
+        return True
+
+    def extend(self, cols: MemoryColumns) -> int:
+        """Bulk-append drained columns (parallel-shard merge)."""
+        admit = self._admit_bulk(len(cols))
+        if not admit:
+            return 0
+        if self._cols is None:
+            self._warp_size = cols.addresses.shape[1]
+        while self._alloc < self._n + admit:
+            self._grow(self._warp_size)
+        lo, hi = self._n, self._n + admit
+        data = (cols.seq, cols.cta, cols.warp_in_cta, cols.bits, cols.line,
+                cols.col, cols.op, cols.call_path_id, cols.addresses,
+                cols.mask)
+        for dst, src in zip(self._cols, data):
+            dst[lo:hi] = src[:admit]
+        self._n = hi
+        return admit
+
+    def drain(self) -> MemoryColumns:
+        n = self._n
+        if self._cols is None:
+            empty = MemoryColumns(
+                *(np.zeros(0, d) for d in (np.int64, np.int32, np.int32,
+                                           np.int32, np.int32, np.int32,
+                                           np.int8, np.int64)),
+                np.zeros((0, self._warp_size or 1), np.int64),
+                np.zeros((0, self._warp_size or 1), bool),
+            )
+            return empty
+        view = MemoryColumns(*(col[:n] for col in self._cols))
+        self._cols = None
+        self._n = 0
+        self._alloc = 0
+        return view
+
+
+class BlockColumns:
+    """Drained basic-block columns; a lazy sequence of
+    :class:`BlockRecord`."""
+
+    __slots__ = ("seq", "cta", "warp_in_cta", "line", "col", "active_lanes",
+                 "resident_lanes", "call_path_id", "block_names")
+
+    def __init__(self, seq, cta, warp_in_cta, line, col, active_lanes,
+                 resident_lanes, call_path_id, block_names):
+        self.seq = seq
+        self.cta = cta
+        self.warp_in_cta = warp_in_cta
+        self.line = line
+        self.col = col
+        self.active_lanes = active_lanes
+        self.resident_lanes = resident_lanes
+        self.call_path_id = call_path_id
+        self.block_names = block_names  # list[str], interned
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def record(self, i: int) -> BlockRecord:
+        return BlockRecord(
+            seq=int(self.seq[i]),
+            cta=int(self.cta[i]),
+            warp_in_cta=int(self.warp_in_cta[i]),
+            block_name=self.block_names[i],
+            line=int(self.line[i]),
+            col=int(self.col[i]),
+            active_lanes=int(self.active_lanes[i]),
+            resident_lanes=int(self.resident_lanes[i]),
+            call_path_id=int(self.call_path_id[i]),
+        )
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self.record(j) for j in range(*i.indices(len(self)))]
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(i)
+        return self.record(i)
+
+    def __iter__(self):
+        return (self.record(i) for i in range(len(self)))
+
+
+class ColumnarBlockBuffer(_ColumnarBase):
+    """SoA append buffer for instrumented basic-block events."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        super().__init__(capacity)
+        self._cols: Optional[tuple] = None
+        self._names: List[str] = []
+
+    def _grow(self) -> None:
+        new = self._next_alloc()
+        if self._cols is None:
+            self._cols = tuple(
+                np.zeros(new, np.int64 if i in (0, 7) else np.int32)
+                for i in range(8)
+            )
+        else:
+            grown = []
+            for col in self._cols:
+                g = np.zeros(new, col.dtype)
+                g[: self._n] = col[: self._n]
+                grown.append(g)
+            self._cols = tuple(grown)
+        self._alloc = new
+
+    def append(self, seq, cta, warp_in_cta, name, line, col, active_lanes,
+               resident_lanes, call_path_id) -> bool:
+        if not self._admit():
+            return False
+        n = self._n
+        if n >= self._alloc:
+            self._grow()
+        c = self._cols
+        c[0][n] = seq
+        c[1][n] = cta
+        c[2][n] = warp_in_cta
+        c[3][n] = line
+        c[4][n] = col
+        c[5][n] = active_lanes
+        c[6][n] = resident_lanes
+        c[7][n] = call_path_id
+        self._names.append(name)
+        self._n = n + 1
+        return True
+
+    def extend(self, cols: BlockColumns) -> int:
+        """Bulk-append drained columns (parallel-shard merge)."""
+        admit = self._admit_bulk(len(cols))
+        if not admit:
+            return 0
+        while self._alloc < self._n + admit:
+            self._grow()
+        lo, hi = self._n, self._n + admit
+        data = (cols.seq, cols.cta, cols.warp_in_cta, cols.line, cols.col,
+                cols.active_lanes, cols.resident_lanes, cols.call_path_id)
+        for dst, src in zip(self._cols, data):
+            dst[lo:hi] = src[:admit]
+        self._names.extend(cols.block_names[:admit])
+        self._n = hi
+        return admit
+
+    def drain(self) -> BlockColumns:
+        n = self._n
+        if self._cols is None:
+            cols = [np.zeros(0, np.int64 if i in (0, 7) else np.int32)
+                    for i in range(8)]
+        else:
+            cols = [col[:n] for col in self._cols]
+        view = BlockColumns(cols[0], cols[1], cols[2], cols[3], cols[4],
+                            cols[5], cols[6], cols[7], self._names)
+        self._cols = None
+        self._names = []
+        self._n = 0
+        self._alloc = 0
+        return view
+
+
+class ArithColumns:
+    """Drained arithmetic-op columns; a lazy sequence of
+    :class:`ArithRecord`."""
+
+    __slots__ = ("seq", "cta", "warp_in_cta", "bits", "is_float", "line",
+                 "col", "active_lanes", "call_path_id", "opcodes")
+
+    def __init__(self, seq, cta, warp_in_cta, bits, is_float, line, col,
+                 active_lanes, call_path_id, opcodes):
+        self.seq = seq
+        self.cta = cta
+        self.warp_in_cta = warp_in_cta
+        self.bits = bits
+        self.is_float = is_float
+        self.line = line
+        self.col = col
+        self.active_lanes = active_lanes
+        self.call_path_id = call_path_id
+        self.opcodes = opcodes  # list[str], interned
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def record(self, i: int) -> ArithRecord:
+        return ArithRecord(
+            seq=int(self.seq[i]),
+            cta=int(self.cta[i]),
+            warp_in_cta=int(self.warp_in_cta[i]),
+            opcode=self.opcodes[i],
+            bits=int(self.bits[i]),
+            is_float=bool(self.is_float[i]),
+            line=int(self.line[i]),
+            col=int(self.col[i]),
+            active_lanes=int(self.active_lanes[i]),
+            call_path_id=int(self.call_path_id[i]),
+        )
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self.record(j) for j in range(*i.indices(len(self)))]
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(i)
+        return self.record(i)
+
+    def __iter__(self):
+        return (self.record(i) for i in range(len(self)))
+
+
+class ColumnarArithBuffer(_ColumnarBase):
+    """SoA append buffer for instrumented arithmetic events."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        super().__init__(capacity)
+        self._cols: Optional[tuple] = None
+        self._opcodes: List[str] = []
+
+    def _grow(self) -> None:
+        new = self._next_alloc()
+        if self._cols is None:
+            self._cols = (
+                np.zeros(new, np.int64),  # seq
+                np.zeros(new, np.int32),  # cta
+                np.zeros(new, np.int32),  # warp_in_cta
+                np.zeros(new, np.int32),  # bits
+                np.zeros(new, bool),  # is_float
+                np.zeros(new, np.int32),  # line
+                np.zeros(new, np.int32),  # col
+                np.zeros(new, np.int32),  # active_lanes
+                np.zeros(new, np.int64),  # call_path_id
+            )
+        else:
+            grown = []
+            for col in self._cols:
+                g = np.zeros(new, col.dtype)
+                g[: self._n] = col[: self._n]
+                grown.append(g)
+            self._cols = tuple(grown)
+        self._alloc = new
+
+    def append(self, seq, cta, warp_in_cta, opcode, bits, is_float, line,
+               col, active_lanes, call_path_id) -> bool:
+        if not self._admit():
+            return False
+        n = self._n
+        if n >= self._alloc:
+            self._grow()
+        c = self._cols
+        c[0][n] = seq
+        c[1][n] = cta
+        c[2][n] = warp_in_cta
+        c[3][n] = bits
+        c[4][n] = is_float
+        c[5][n] = line
+        c[6][n] = col
+        c[7][n] = active_lanes
+        c[8][n] = call_path_id
+        self._opcodes.append(opcode)
+        self._n = n + 1
+        return True
+
+    def extend(self, cols: ArithColumns) -> int:
+        """Bulk-append drained columns (parallel-shard merge)."""
+        admit = self._admit_bulk(len(cols))
+        if not admit:
+            return 0
+        while self._alloc < self._n + admit:
+            self._grow()
+        lo, hi = self._n, self._n + admit
+        data = (cols.seq, cols.cta, cols.warp_in_cta, cols.bits,
+                cols.is_float, cols.line, cols.col, cols.active_lanes,
+                cols.call_path_id)
+        for dst, src in zip(self._cols, data):
+            dst[lo:hi] = src[:admit]
+        self._opcodes.extend(cols.opcodes[:admit])
+        self._n = hi
+        return admit
+
+    def drain(self) -> ArithColumns:
+        n = self._n
+        if self._cols is None:
+            cols = [np.zeros(0, d) for d in (
+                np.int64, np.int32, np.int32, np.int32, bool,
+                np.int32, np.int32, np.int32, np.int64)]
+        else:
+            cols = [col[:n] for col in self._cols]
+        view = ArithColumns(cols[0], cols[1], cols[2], cols[3], cols[4],
+                            cols[5], cols[6], cols[7], cols[8],
+                            self._opcodes)
+        self._cols = None
+        self._opcodes = []
+        self._n = 0
+        self._alloc = 0
+        return view

@@ -16,7 +16,11 @@ import numpy as np
 
 from repro.errors import ProfilerError
 from repro.host.shadow_stack import HostFrame
-from repro.profiler.buffers import DeviceTraceBuffer
+from repro.profiler.buffers import (
+    ColumnarArithBuffer,
+    ColumnarBlockBuffer,
+    ColumnarMemoryBuffer,
+)
 from repro.profiler.codecentric import CallPathRegistry, GPUPathEntry
 from repro.profiler.records import (
     ArithRecord,
@@ -37,9 +41,12 @@ class KernelProfile:
     block: Tuple[int, int, int]
     num_ctas: int
     warps_per_cta: int
-    memory_records: List[MemoryAccessRecord]
-    block_records: List[BlockRecord]
-    arith_records: List[ArithRecord]
+    #: Sequence of records; the fast path stores MemoryColumns /
+    #: BlockColumns / ArithColumns (lazy record views over numpy
+    #: columns), hand-built profiles may use plain lists.
+    memory_records: Sequence[MemoryAccessRecord]
+    block_records: Sequence[BlockRecord]
+    arith_records: Sequence[ArithRecord]
     call_paths: CallPathRegistry
     functions_by_id: list
     dropped_records: int
@@ -78,15 +85,19 @@ class HookRuntime:
         self.sample_rate = sample_rate
         self._sample_counter = 0
 
-        self.memory_buffer: DeviceTraceBuffer = DeviceTraceBuffer(buffer_capacity)
-        self.block_buffer: DeviceTraceBuffer = DeviceTraceBuffer(buffer_capacity)
-        self.arith_buffer: DeviceTraceBuffer = DeviceTraceBuffer(buffer_capacity)
+        self.memory_buffer = ColumnarMemoryBuffer(buffer_capacity)
+        self.block_buffer = ColumnarBlockBuffer(buffer_capacity)
+        self.arith_buffer = ColumnarArithBuffer(buffer_capacity)
         self.call_paths = CallPathRegistry()
 
         self._seq = 0
         self._launch_info: Optional[dict] = None
         #: per-warp shadow stacks: global warp id -> list[GPUPathEntry]
         self._warp_stacks: Dict[int, List[GPUPathEntry]] = {}
+        #: per-warp interned path id, invalidated by cupr.push/pop
+        self._warp_path_ids: Dict[int, int] = {}
+        #: constant-arena address -> string (string_at scans linearly)
+        self._strings: Dict[int, str] = {}
         self._root_entry: Optional[GPUPathEntry] = None
         self.profile: Optional[KernelProfile] = None
         self.on_complete = None  # callable(profile), set by the session
@@ -97,13 +108,13 @@ class HookRuntime:
         kernel_id = self.image.function_ids[self.kernel]
         self._root_entry = GPUPathEntry(kernel_id, 0, 0)
 
-    def dispatch(self, name: str, args, mask, warp, ctx) -> None:
+    def dispatch(self, name: str, args, mask, warp, ctx, nactive=None) -> None:
         if name == "Record":
             self._on_record(args, mask, warp)
         elif name == "passBasicBlock":
-            self._on_block(args, mask, warp)
+            self._on_block(args, mask, warp, nactive)
         elif name == "RecordArith":
-            self._on_arith(args, mask, warp)
+            self._on_arith(args, mask, warp, nactive)
         elif name == "cupr.push":
             self._on_push(args, warp)
         elif name == "cupr.pop":
@@ -136,13 +147,77 @@ class HookRuntime:
         if self.on_complete is not None:
             self.on_complete(self.profile)
 
+    # -- parallel-launch sharding -------------------------------------------------------
+    def reset_for_shard(self) -> None:
+        """Reinitialize trace state inside a forked shard worker.
+
+        Shard buffers are uncapped: the parent enforces the global
+        capacity when it absorbs the shards in SM order, so the drop set
+        matches a serial run exactly.
+        """
+        self.memory_buffer = ColumnarMemoryBuffer(None)
+        self.block_buffer = ColumnarBlockBuffer(None)
+        self.arith_buffer = ColumnarArithBuffer(None)
+        self.call_paths = CallPathRegistry()
+        self._seq = 0
+        self._warp_stacks = {}
+        self._warp_path_ids = {}
+
+    def export_shard(self) -> dict:
+        """Pickleable trace state a shard worker sends back."""
+        return {
+            "memory": self.memory_buffer.drain(),
+            "block": self.block_buffer.drain(),
+            "arith": self.arith_buffer.drain(),
+            "paths": list(self.call_paths._paths),
+            "seq_total": self._seq,
+        }
+
+    def absorb_shards(self, shard_states) -> None:
+        """Merge shard traces back, in SM order, as if run serially.
+
+        Sequence numbers are renumbered with a running offset (all three
+        buffers share one counter, so a shard's local seqs are already
+        dense and ordered), and call-path ids are re-interned into the
+        parent registry in shard order -- first-encounter order across
+        the concatenated stream, identical to a serial run.
+        """
+        for state in shard_states:
+            remap = np.array(
+                [self.call_paths.intern(p) for p in state["paths"]],
+                dtype=np.int64,
+            )
+            offset = self._seq
+            for cols, buffer in (
+                (state["memory"], self.memory_buffer),
+                (state["block"], self.block_buffer),
+                (state["arith"], self.arith_buffer),
+            ):
+                if len(cols):
+                    cols.seq = cols.seq + offset
+                    cols.call_path_id = remap[cols.call_path_id]
+                buffer.extend(cols)
+            self._seq += state["seq_total"]
+
     # -- hook implementations ----------------------------------------------------------
     def _current_path_id(self, warp) -> int:
-        stack = self._warp_stacks.get(warp.global_warp_id)
-        if stack is None:
-            stack = [self._root_entry]
-            self._warp_stacks[warp.global_warp_id] = stack
-        return self.call_paths.intern(tuple(stack))
+        wid = warp.global_warp_id
+        path_id = self._warp_path_ids.get(wid)
+        if path_id is None:
+            stack = self._warp_stacks.get(wid)
+            if stack is None:
+                stack = [self._root_entry]
+                self._warp_stacks[wid] = stack
+            path_id = self.call_paths.intern(tuple(stack))
+            self._warp_path_ids[wid] = path_id
+        return path_id
+
+    def _string_at(self, addr: int) -> str:
+        text = self._strings.get(addr)
+        if text is None:
+            text = self.image.string_at(addr)
+            self._strings[addr] = text
+        return text
 
     def _sampled_out(self) -> bool:
         if self.sample_rate == 1:
@@ -156,64 +231,68 @@ class HookRuntime:
         addrs = np.asarray(args[0])
         if addrs.ndim == 0:
             addrs = np.full(warp.warp_size, int(addrs), dtype=np.int64)
-        record = MemoryAccessRecord(
-            seq=self._seq,
-            cta=warp.cta_linear,
-            warp_in_cta=warp.warp_in_cta,
-            addresses=addrs.astype(np.int64, copy=True),
-            mask=mask.copy(),
-            bits=int(args[1]),
-            line=int(args[2]),
-            col=int(args[3]),
-            op=MemoryOp(int(args[4])),
-            call_path_id=self._current_path_id(warp),
-        )
+        seq = self._seq
         self._seq += 1
-        self.memory_buffer.append(record)
-
-    def _on_block(self, args, mask, warp) -> None:
-        name = self.image.string_at(int(np.asarray(args[0]).flat[0]))
-        record = BlockRecord(
-            seq=self._seq,
-            cta=warp.cta_linear,
-            warp_in_cta=warp.warp_in_cta,
-            block_name=name,
-            line=int(args[1]),
-            col=int(args[2]),
-            active_lanes=int(mask.sum()),
-            resident_lanes=int(warp.resident_mask.sum()),
-            call_path_id=self._current_path_id(warp),
+        self.memory_buffer.append(
+            seq,
+            warp.cta_linear,
+            warp.warp_in_cta,
+            addrs,
+            mask,
+            int(args[1]),
+            int(args[2]),
+            int(args[3]),
+            int(args[4]),
+            self._current_path_id(warp),
         )
-        self._seq += 1
-        self.block_buffer.append(record)
 
-    def _on_arith(self, args, mask, warp) -> None:
+    def _on_block(self, args, mask, warp, nactive=None) -> None:
+        a0 = args[0]
+        name = self._string_at(a0 if type(a0) is int else int(a0) if a0.ndim == 0 else int(a0.flat[0]))
+        seq = self._seq
+        self._seq += 1
+        self.block_buffer.append(
+            seq,
+            warp.cta_linear,
+            warp.warp_in_cta,
+            name,
+            int(args[1]),
+            int(args[2]),
+            nactive if nactive is not None else int(mask.sum()),
+            int(warp.resident_mask.sum()),
+            self._current_path_id(warp),
+        )
+
+    def _on_arith(self, args, mask, warp, nactive=None) -> None:
         if self._sampled_out():
             return
-        opcode = self.image.string_at(int(np.asarray(args[0]).flat[0]))
-        record = ArithRecord(
-            seq=self._seq,
-            cta=warp.cta_linear,
-            warp_in_cta=warp.warp_in_cta,
-            opcode=opcode,
-            bits=int(args[1]),
-            is_float=bool(int(args[2])),
-            line=int(args[3]),
-            col=int(args[4]),
-            active_lanes=int(mask.sum()),
-            call_path_id=self._current_path_id(warp),
-        )
+        a0 = args[0]
+        opcode = self._string_at(a0 if type(a0) is int else int(a0) if a0.ndim == 0 else int(a0.flat[0]))
+        seq = self._seq
         self._seq += 1
-        self.arith_buffer.append(record)
+        self.arith_buffer.append(
+            seq,
+            warp.cta_linear,
+            warp.warp_in_cta,
+            opcode,
+            int(args[1]),
+            bool(int(args[2])),
+            int(args[3]),
+            int(args[4]),
+            nactive if nactive is not None else int(mask.sum()),
+            self._current_path_id(warp),
+        )
 
     def _on_push(self, args, warp) -> None:
         stack = self._warp_stacks.setdefault(
             warp.global_warp_id, [self._root_entry]
         )
         stack.append(GPUPathEntry(int(args[0]), int(args[1]), int(args[2])))
+        self._warp_path_ids.pop(warp.global_warp_id, None)
 
     def _on_pop(self, warp) -> None:
         stack = self._warp_stacks.get(warp.global_warp_id)
         if not stack or len(stack) <= 1:
             raise ProfilerError("GPU shadow-stack underflow (unbalanced pops)")
         stack.pop()
+        self._warp_path_ids.pop(warp.global_warp_id, None)

@@ -27,10 +27,12 @@ class TestStackDistances:
         events = [(1, False), (1, True), (1, False)]
         assert stack_distances(events) == [INFINITE, INFINITE]
 
-    def test_write_to_other_line_shrinks_stack(self):
-        # read A, read B, WRITE B (evicts B), read A: distance 0, not 1.
+    def test_write_to_other_line_leaves_hole(self):
+        # read A, read B, WRITE B (evicts B), read A: the write frees a
+        # way but a capacity-1 cache already evicted A when B was read,
+        # so B's slot must still count -- distance 1, not 0.
         events = [(1, False), (2, False), (2, True), (1, False)]
-        assert stack_distances(events)[-1] == 0
+        assert stack_distances(events)[-1] == 1
 
     def test_write_no_allocate(self):
         events = [(7, True), (7, False)]

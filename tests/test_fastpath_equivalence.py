@@ -1,0 +1,178 @@
+"""Fast-path equivalence: the columnar trace buffers and the parallel
+launch must be invisible to every consumer.
+
+Two properties are pinned here:
+
+* **Columnar vs. record analyses** -- running the analyzers over the
+  drained column views must give numerically identical results to
+  running them over the same trace materialized as classic record
+  lists (which exercises the per-record fallback paths).
+* **Parallel vs. serial launch** -- with ``Device.parallel_workers``
+  set, drained traces, call-path registries, and hardware statistics
+  must be byte-identical to a serial run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cache_model import profile_stack_distances
+from repro.analysis.divergence_memory import (
+    divergent_sites,
+    memory_divergence_analysis,
+)
+from repro.analysis.reuse_distance import (
+    ReuseDistanceModel,
+    reuse_distance_analysis,
+    site_reuse_analysis,
+)
+from repro.apps import build_app
+from repro.frontend import compile_kernels, kernel, ptr_i32
+from repro.gpu import Device, KEPLER_K40C
+from repro.host import CudaRuntime
+from repro.passes import instrumentation_pipeline, optimization_pipeline
+from repro.profiler import ProfilingSession
+from repro.profiler.buffers import MemoryColumns
+
+
+@kernel
+def bump_counter(counter: ptr_i32):
+    atomic_add(counter, 0, 1)  # noqa: F821 -- DSL intrinsic
+
+
+APPS = [
+    ("bfs", {"num_nodes": 128}),
+    ("hotspot", {"n": 32, "steps": 2}),
+    ("syrk", {"n": 24, "m": 24}),
+]
+
+
+def _profile_session(app_name, app_kwargs, workers=None):
+    app = build_app(app_name, **app_kwargs)
+    module = compile_kernels(list(app.kernels), app_name)
+    optimization_pipeline().run(module)
+    instrumentation_pipeline(["memory", "blocks", "arith"]).run(module)
+    session = ProfilingSession()
+    device = Device(KEPLER_K40C)
+    device.parallel_workers = workers
+    runtime = CudaRuntime(device, profiler=session)
+    image = device.load_module(module)
+    state = app.prepare(runtime)
+    app.run(runtime, image, state)
+    return session
+
+
+class _RecordListProfile:
+    """The same profile with plain record lists (fallback paths)."""
+
+    def __init__(self, profile):
+        self.memory_records = list(profile.memory_records)
+        self.block_records = list(profile.block_records)
+        self.arith_records = list(profile.arith_records)
+
+    def memory_records_by_cta(self):
+        grouped = {}
+        for record in self.memory_records:
+            grouped.setdefault(record.cta, []).append(record)
+        return grouped
+
+
+def _memory_record_equal(a, b):
+    return (
+        a.seq == b.seq
+        and a.cta == b.cta
+        and a.warp_in_cta == b.warp_in_cta
+        and np.array_equal(a.addresses, b.addresses)
+        and np.array_equal(a.mask, b.mask)
+        and a.bits == b.bits
+        and a.line == b.line
+        and a.col == b.col
+        and a.op == b.op
+        and a.call_path_id == b.call_path_id
+    )
+
+
+@pytest.mark.parametrize("app_name,app_kwargs", APPS)
+class TestColumnarVsRecordAnalyses:
+    def test_reuse_histograms_identical(self, app_name, app_kwargs):
+        for profile in _profile_session(app_name, app_kwargs).profiles:
+            assert isinstance(profile.memory_records, MemoryColumns)
+            rows = _RecordListProfile(profile)
+            for model in ReuseDistanceModel:
+                fast = reuse_distance_analysis(profile, model=model)
+                slow = reuse_distance_analysis(rows, model=model)
+                assert fast.frequencies == slow.frequencies
+                assert fast.samples == slow.samples
+                assert fast.finite_sum == slow.finite_sum
+                fast_sites = site_reuse_analysis(profile, model=model)
+                slow_sites = site_reuse_analysis(rows, model=model)
+                assert list(fast_sites) == list(slow_sites)
+                for site, hist in fast_sites.items():
+                    assert hist.frequencies == slow_sites[site].frequencies
+
+    def test_divergence_distributions_identical(self, app_name, app_kwargs):
+        for profile in _profile_session(app_name, app_kwargs).profiles:
+            rows = _RecordListProfile(profile)
+            for line_size in (128, 32):
+                fast = memory_divergence_analysis(profile, line_size)
+                slow = memory_divergence_analysis(rows, line_size)
+                assert fast.distribution == slow.distribution
+                assert fast.divergence_degree == slow.divergence_degree
+                assert divergent_sites(profile, line_size) == divergent_sites(
+                    rows, line_size
+                )
+
+    def test_stack_distances_identical(self, app_name, app_kwargs):
+        for profile in _profile_session(app_name, app_kwargs).profiles:
+            rows = _RecordListProfile(profile)
+            assert profile_stack_distances(profile) == profile_stack_distances(
+                rows
+            )
+
+
+@pytest.mark.parametrize("app_name,app_kwargs", APPS)
+def test_parallel_launch_matches_serial(app_name, app_kwargs):
+    serial = _profile_session(app_name, app_kwargs).profiles
+    parallel = _profile_session(app_name, app_kwargs, workers=4).profiles
+    assert len(serial) == len(parallel)
+    for pa, pb in zip(serial, parallel):
+        assert len(pa.memory_records) == len(pb.memory_records)
+        assert all(
+            _memory_record_equal(a, b)
+            for a, b in zip(pa.memory_records, pb.memory_records)
+        )
+        assert list(pa.block_records) == list(pb.block_records)
+        assert list(pa.arith_records) == list(pb.arith_records)
+        assert len(pa.call_paths) == len(pb.call_paths)
+        assert all(
+            pa.call_paths.path(i) == pb.call_paths.path(i)
+            for i in range(len(pa.call_paths))
+        )
+        assert pa.dropped_records == pb.dropped_records
+        la, lb = pa.launch_result, pb.launch_result
+        assert la.cycles == lb.cycles
+        assert la.instructions == lb.instructions
+        assert la.transactions == lb.transactions
+        assert la.branches == lb.branches
+        assert la.divergent_branches == lb.divergent_branches
+        assert la.cache == lb.cache
+
+
+def test_parallel_conflicting_writes_fall_back_to_serial():
+    """CTAs atomically updating one location overlap in every shard's
+    write set; the launch must detect it and produce serial results."""
+    module = compile_kernels([bump_counter], "conflict")
+    optimization_pipeline().run(module)
+
+    def run(workers):
+        device = Device(KEPLER_K40C)
+        device.parallel_workers = workers
+        runtime = CudaRuntime(device)
+        image = device.load_module(module)
+        d_counter = runtime.cuda_malloc(4, "d_counter")
+        runtime.cuda_memcpy_htod(d_counter, np.zeros(1, dtype=np.int32))
+        runtime.launch_kernel(image, "bump_counter", 8, 32, [d_counter])
+        out = np.zeros(1, dtype=np.int32)
+        runtime.cuda_memcpy_dtoh(out, d_counter)
+        return int(out[0])
+
+    assert run(None) == run(4) == 8 * 32
