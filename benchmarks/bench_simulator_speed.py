@@ -14,14 +14,20 @@ Usage::
     --quick             3-app subset with scaled-down inputs (CI smoke)
     --update-baseline   store this run as the comparison baseline
     --workers N         exercise the parallel launch path with N workers
+    --backend NAME      execution backend ("interpreter" or "batched")
+    --sample-rate N     trace sampling stride for the instrumented runs
     --repeat N          run each measurement N times, keep the minimum
                         wall time (the usual robust estimator on noisy,
                         shared machines; event counts are deterministic
                         and identical across repeats)
 
-The JSON keeps two sections: ``baseline`` (written once per era with
---update-baseline, e.g. before a perf PR lands) and ``current`` (every
-run); ``speedup`` is aggregate baseline wall time / current wall time.
+The JSON keeps two sections per configuration key: ``baseline``
+(written once per era with --update-baseline, e.g. before a perf PR
+lands) and ``current`` (every run); ``speedup`` is aggregate baseline
+wall time / current wall time. Non-default backends/sample rates get
+their own key (``quick-batched``, ``full-sampled8``, ...); a batched
+run additionally records per-app ``vs_interpreter`` speedups against
+the matching interpreter key's ``current`` section.
 """
 
 from __future__ import annotations
@@ -59,6 +65,8 @@ def _run_app(
     app_kwargs: dict,
     instrumented: bool,
     workers: Optional[int] = None,
+    backend: str = "interpreter",
+    sample_rate: int = 1,
 ) -> dict:
     """One end-to-end execution; returns wall seconds + event counts."""
     app = build_app(app_name, **app_kwargs)
@@ -67,8 +75,9 @@ def _run_app(
     session = None
     if instrumented:
         instrumentation_pipeline(INSTRUMENT_MODES).run(module)
-        session = ProfilingSession()
+        session = ProfilingSession(sample_rate=sample_rate)
     device = Device(KEPLER_K40C)
+    device.backend = backend
     if workers:
         device.parallel_workers = workers
     rt = CudaRuntime(device, profiler=session)
@@ -101,23 +110,31 @@ def _best_of(
     app_kwargs: dict,
     instrumented: bool,
     workers: Optional[int],
+    backend: str = "interpreter",
+    sample_rate: int = 1,
 ) -> dict:
     """Min wall time over ``repeat`` runs (counts are deterministic)."""
     best = None
     for _ in range(max(1, repeat)):
-        result = _run_app(app_name, app_kwargs, instrumented, workers)
+        result = _run_app(app_name, app_kwargs, instrumented, workers,
+                          backend, sample_rate)
         if best is None or result["wall_s"] < best["wall_s"]:
             best = result
     return best
 
 
 def run_suite(
-    apps: Dict[str, dict], workers: Optional[int] = None, repeat: int = 1
+    apps: Dict[str, dict],
+    workers: Optional[int] = None,
+    repeat: int = 1,
+    backend: str = "interpreter",
+    sample_rate: int = 1,
 ) -> dict:
     per_app: Dict[str, dict] = {}
     for name, kwargs in apps.items():
-        plain = _best_of(repeat, name, kwargs, False, workers)
-        instr = _best_of(repeat, name, kwargs, True, workers)
+        plain = _best_of(repeat, name, kwargs, False, workers, backend)
+        instr = _best_of(repeat, name, kwargs, True, workers, backend,
+                         sample_rate)
         per_app[name] = {
             "uninstrumented_s": round(plain["wall_s"], 4),
             "instrumented_s": round(instr["wall_s"], 4),
@@ -164,6 +181,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="store this run as the comparison baseline")
     parser.add_argument("--workers", type=int, default=None,
                         help="use the parallel launch path with N workers")
+    parser.add_argument("--backend", choices=["interpreter", "batched"],
+                        default="interpreter",
+                        help="execution backend behind Device.launch")
+    parser.add_argument("--sample-rate", type=int, default=1,
+                        help="trace-sampling stride for instrumented runs")
     parser.add_argument("--repeat", type=int, default=1,
                         help="repeat each measurement N times, keep the min")
     args = parser.parse_args(argv)
@@ -171,10 +193,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     apps = (
         QUICK_APPS if args.quick else {name: {} for name in APP_NAMES}
     )
-    suite = run_suite(apps, workers=args.workers, repeat=args.repeat)
+    suite = run_suite(apps, workers=args.workers, repeat=args.repeat,
+                      backend=args.backend, sample_rate=args.sample_rate)
     suite["config"] = {
         "quick": args.quick,
         "workers": args.workers,
+        "backend": args.backend,
+        "sample_rate": args.sample_rate,
         "repeat": args.repeat,
         "python": sys.version.split()[0],
     }
@@ -184,7 +209,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(RESULT_FILE) as f:
             existing = json.load(f)
 
-    key = "quick" if args.quick else "full"
+    base_key = "quick" if args.quick else "full"
+    key = base_key
+    if args.backend != "interpreter":
+        key += f"-{args.backend}"
+    if args.sample_rate != 1:
+        key += f"-sampled{args.sample_rate}"
     section = existing.setdefault(key, {})
     if args.update_baseline or "baseline" not in section:
         section["baseline"] = suite
@@ -201,6 +231,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ) if cur["instrumented_s"] else None,
     }
     print(f"speedup vs baseline: {section['speedup']}")
+
+    # A non-interpreter backend also reports per-app speedups against
+    # the matching interpreter run, so backend wins are visible per app.
+    reference = existing.get(base_key, {}).get("current")
+    if args.backend != "interpreter" and reference is not None:
+        vs: dict = {"apps": {}}
+        for name, app in suite["apps"].items():
+            ref = reference["apps"].get(name)
+            if not ref:
+                continue
+            vs["apps"][name] = {
+                "uninstrumented": round(
+                    ref["uninstrumented_s"] / app["uninstrumented_s"], 3
+                ) if app["uninstrumented_s"] else None,
+                "instrumented": round(
+                    ref["instrumented_s"] / app["instrumented_s"], 3
+                ) if app["instrumented_s"] else None,
+            }
+        vs["aggregate"] = {
+            "uninstrumented": round(
+                reference["aggregate"]["uninstrumented_s"]
+                / suite["aggregate"]["uninstrumented_s"], 3
+            ) if suite["aggregate"]["uninstrumented_s"] else None,
+            "instrumented": round(
+                reference["aggregate"]["instrumented_s"]
+                / suite["aggregate"]["instrumented_s"], 3
+            ) if suite["aggregate"]["instrumented_s"] else None,
+        }
+        section["vs_interpreter"] = vs
+        print(f"vs interpreter ({base_key}): {vs['aggregate']}")
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(RESULT_FILE, "w") as f:

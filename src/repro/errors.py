@@ -64,5 +64,17 @@ class ProfilerError(ReproError):
     """The profiler could not collect or attribute data."""
 
 
+class LaunchDegradedWarning(RuntimeWarning):
+    """A launch lost a requested fast path and fell back to a slower one.
+
+    Emitted (never raised) when a configuration the user asked for --
+    ``device.parallel_workers``, ``device.backend = "batched"`` -- cannot
+    be honoured for this launch and execution silently degrading would
+    hide the perf cliff: pc sampling forcing the serial interpreter,
+    platforms without ``fork``, or parallel shards whose CTAs wrote
+    overlapping memory. Results are unaffected; only speed is.
+    """
+
+
 class AnalysisError(ReproError):
     """An analyzer was fed inconsistent profiles."""

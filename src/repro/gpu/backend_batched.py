@@ -1,0 +1,887 @@
+"""The batched-warp execution backend (``device.backend = "batched"``).
+
+Executes all resident warps of a CTA *together*, one micro-op at a time,
+as vectorized numpy operations over ``(num_warps, warp_size)`` arrays --
+one interpreter dispatch per CTA-wide instruction instead of one per
+warp. This is legal exactly while the CTA's warps are in lock-step on
+the same control path, which is the common case for the regular
+Rodinia/Polybench kernels of the paper; the first micro-op that breaks
+lock-step (a warp-divergent or warp-varying branch) or that has no
+batched equivalent *de-batches* the CTA back onto the per-warp
+:class:`~repro.gpu.interpreter.WarpInterpreter`, permanently for that
+CTA.
+
+Byte-identity with the interpreter backend (the contract pinned by
+``tests/test_fastpath_equivalence.py`` and documented in
+``docs/architecture.md``) follows from three properties of the
+simulator:
+
+1. Under the greedy-then-oldest scheduler, the serial event order of
+   lock-step warps is *segment-major*: warp 0 runs a whole scheduling
+   segment (until a global-memory access, ``scheduler_quantum``
+   instructions, or a barrier), then warp 1 runs the same ops, and so
+   on. So the batched stepper executes ops CTA-wide but *defers every
+   observable side effect* -- hook dispatches, cycle costs, cache/MSHR
+   traffic -- into per-segment buffers, and flushes them warp-by-warp in
+   warp order at the segment boundary, reproducing the serial order
+   exactly.
+2. All intra-segment cycle costs (issue, shared access, hooks, atomics)
+   are integer-valued and additive, so accumulating them per warp and
+   adding them in one go at flush time is bit-exact.
+3. The only cycle-*reading* consumer, the MSHR file, is only touched by
+   the segment-final global-memory op, which is modeled per warp at
+   flush time via the same :func:`repro.gpu.decode._model_global` the
+   interpreter uses -- after that warp's deferred costs were added.
+
+Register values are numpy arrays broadcastable to ``(W, warp_size)``:
+scalars and decode-time ``(warp_size,)`` immediates are shared by every
+warp, ``(W, 1)`` columns are per-warp uniform values (the counterpart of
+a serial scalar register), ``(W, warp_size)`` is fully lane-varying.
+
+Known caveat (shared with real GPUs, where it is a data race): warps
+that communicate through shared memory *within one scheduling segment
+without a barrier* can observe each other's writes in a different order
+than the serial interpreter. ``__syncthreads()`` ends the segment, so
+properly synchronized kernels are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.gpu.decode import (
+    _I64,
+    _ONE_LANE,
+    _model_global,
+    _mo_alloca,
+    _mo_atomic_global,
+    _mo_atomic_shared,
+    _mo_barrier,
+    _mo_binop,
+    _mo_br,
+    _mo_call,
+    _mo_cast,
+    _mo_cast_bool,
+    _mo_cast_repr,
+    _mo_condbr,
+    _mo_const,
+    _mo_gep,
+    _mo_gep_const,
+    _mo_hook,
+    _mo_intrin,
+    _mo_ld_const,
+    _mo_ld_global,
+    _mo_ld_local,
+    _mo_ld_shared,
+    _mo_math,
+    _mo_ret,
+    _mo_select,
+    _mo_st_global,
+    _mo_st_local,
+    _mo_st_shared,
+    _undef,
+)
+from repro.gpu.interpreter import WarpInterpreter
+from repro.gpu.simt import Frame, WarpStatus
+from repro.gpu.vecops import _apply_math, _bank_conflict_degrees
+
+
+class _Debatch(Exception):
+    """Internal signal: this micro-op cannot run batched; fall back."""
+
+
+class _BFrame:
+    """One function activation of a whole CTA (lock-step warps).
+
+    The batched counterpart of :class:`repro.gpu.simt.Frame`: because
+    control flow is uniform, there is no reconvergence stack -- just the
+    current block and op index.
+    """
+
+    __slots__ = ("decoded", "block", "index", "regs", "sp", "base_sp",
+                 "ret_slot")
+
+    def __init__(self, decoded, block, index, regs, sp, base_sp, ret_slot):
+        self.decoded = decoded
+        self.block = block
+        self.index = index
+        self.regs = regs
+        self.sp = sp
+        self.base_sp = base_sp
+        self.ret_slot = ret_slot
+
+    @property
+    def function(self):  # _undef renders "@{frame.function.name}"
+        return self.decoded.function
+
+
+# -- operand helpers ---------------------------------------------------------
+def _get(m, ref):
+    """Register slot or immediate -> batched value."""
+    if type(ref) is int:
+        v = m.frames[-1].regs[ref]
+        if v is None:
+            _undef(m.frames[-1], ref)
+        return v
+    return ref
+
+
+def _addr2d(m, ref) -> np.ndarray:
+    """Resolve an address operand to a ``(W, warp_size)`` view."""
+    a = np.asarray(_get(m, ref))
+    if a.ndim == 0:
+        a = np.full(m.warp_size, a, _I64)  # matches _read_addrs
+    return np.broadcast_to(a, (m.W, m.warp_size))
+
+
+def _store2d(m, op) -> np.ndarray:
+    """Resolve a store-value operand (op.b, dtype op.c) to (W, warp_size)."""
+    v = op.b
+    if type(v) is int:
+        v = m.frames[-1].regs[v]
+        if v is None:
+            _undef(m.frames[-1], op.b)
+    v = np.asarray(v)
+    dtype = op.c
+    if v.ndim == 0:
+        v = np.full(m.warp_size, v, dtype)  # matches _read_store_value
+    elif v.dtype != dtype:
+        v = v.astype(dtype)
+    return np.broadcast_to(v, (m.W, m.warp_size))
+
+
+# -- batched micro-op handlers ----------------------------------------------
+# Same contract as the serial handlers in repro.gpu.decode, but one call
+# executes the op for every warp of the CTA. A handler must raise
+# _Debatch *before* any state mutation if the op cannot run batched.
+def _bb_alloca(op, m):
+    frame = m.frames[-1]
+    size = op.a
+    addr = (frame.sp + size - 1) // size * size
+    frame.sp = addr + size * op.b
+    if frame.sp > m.warps[0].local_mem.arena_size:
+        raise ExecutionError("kernel thread stack overflow (too many allocas)")
+    frame.regs[op.dst] = _I64(addr)
+    frame.index += 1
+
+
+def _bb_gep(op, m):
+    frame = m.frames[-1]
+    base = op.a
+    if type(base) is int:
+        base = frame.regs[base]
+        if base is None:
+            _undef(frame, op.a)
+    index = frame.regs[op.b]
+    if index is None:
+        _undef(frame, op.b)
+    frame.regs[op.dst] = base + index.astype(_I64) * op.c
+    frame.index += 1
+
+
+def _bb_gep_const(op, m):
+    frame = m.frames[-1]
+    base = op.a
+    if type(base) is int:
+        base = frame.regs[base]
+        if base is None:
+            _undef(frame, op.a)
+    frame.regs[op.dst] = base + op.b
+    frame.index += 1
+
+
+def _bb_binop(op, m):
+    frame = m.frames[-1]
+    a = op.a
+    if type(a) is int:
+        a = frame.regs[a]
+        if a is None:
+            _undef(frame, op.a)
+    b = op.b
+    if type(b) is int:
+        b = frame.regs[b]
+        if b is None:
+            _undef(frame, op.b)
+    frame.regs[op.dst] = op.c(a, b, m.masks)
+    frame.index += 1
+
+
+def _bb_const(op, m):
+    frame = m.frames[-1]
+    frame.regs[op.dst] = op.a
+    frame.index += 1
+
+
+def _bb_cast_repr(op, m):
+    frame = m.frames[-1]
+    v = frame.regs[op.a]
+    if v is None:
+        _undef(frame, op.a)
+    if op.b is not None and v.ndim and v.dtype != op.b:
+        # (W, 1) columns are the batched form of a serial *scalar*
+        # register, and the serial scalar path skips the reinterpret.
+        if not (v.ndim == 2 and v.shape[1] == 1):
+            v = v.view(op.b)
+    frame.regs[op.dst] = v
+    frame.index += 1
+
+
+def _bb_cast_bool(op, m):
+    frame = m.frames[-1]
+    v = frame.regs[op.a]
+    if v is None:
+        _undef(frame, op.a)
+    frame.regs[op.dst] = (np.asarray(v) & 1).astype(np.bool_)
+    frame.index += 1
+
+
+def _bb_cast(op, m):
+    frame = m.frames[-1]
+    v = frame.regs[op.a]
+    if v is None:
+        _undef(frame, op.a)
+    frame.regs[op.dst] = np.asarray(v).astype(op.b)
+    frame.index += 1
+
+
+def _bb_select(op, m):
+    frame = m.frames[-1]
+    c = op.a
+    if type(c) is int:
+        c = frame.regs[c]
+        if c is None:
+            _undef(frame, op.a)
+    if np.ndim(c) == 0:
+        c = np.full(m.warp_size, c, np.bool_)
+    a = op.b
+    if type(a) is int:
+        a = frame.regs[a]
+        if a is None:
+            _undef(frame, op.b)
+    b = op.c
+    if type(b) is int:
+        b = frame.regs[b]
+        if b is None:
+            _undef(frame, op.c)
+    frame.regs[op.dst] = np.where(c, a, b)
+    frame.index += 1
+
+
+def _bb_ld_global(op, m):
+    a2d = _addr2d(m, op.a)
+    m._pend_mem(a2d, op.c, op.d, False)
+    frame = m.frames[-1]
+    frame.regs[op.dst] = m.ctx.global_mem.gather(
+        a2d.reshape(-1), m.masks_flat, op.b
+    ).reshape(m.W, m.warp_size)
+    frame.index += 1
+    return "mem"
+
+
+def _bb_st_global(op, m):
+    a2d = _addr2d(m, op.a)
+    v2d = _store2d(m, op)
+    m._pend_mem(a2d, op.c.itemsize, op.d, True)
+    mem = m.ctx.global_mem
+    masks = m.masks
+    for w in range(m.W):  # warp order: last-lane/last-warp wins, as serial
+        mem.scatter(a2d[w], masks[w], v2d[w])
+    m.frames[-1].index += 1
+    return "mem"
+
+
+def _bb_ld_shared(op, m):
+    a2d = _addr2d(m, op.a)
+    m._pending += m._shared_cycles * np.maximum(
+        1, _bank_conflict_degrees(a2d, m.masks)
+    )
+    frame = m.frames[-1]
+    frame.regs[op.dst] = m.ctx.shared_mem.gather(
+        a2d.reshape(-1), m.masks_flat, op.b
+    ).reshape(m.W, m.warp_size)
+    frame.index += 1
+
+
+def _bb_st_shared(op, m):
+    a2d = _addr2d(m, op.a)
+    v2d = _store2d(m, op)
+    m._pending += m._shared_cycles * np.maximum(
+        1, _bank_conflict_degrees(a2d, m.masks)
+    )
+    shared = m.ctx.shared_mem
+    masks = m.masks
+    for w in range(m.W):
+        shared.scatter(a2d[w], masks[w], v2d[w])
+    m.frames[-1].index += 1
+
+
+def _bb_ld_local(op, m):
+    a2d = _addr2d(m, op.a)
+    frame = m.frames[-1]
+    frame.regs[op.dst] = np.stack([
+        warp.local_mem.gather(a2d[w], m.masks[w], op.b)
+        for w, warp in enumerate(m.warps)
+    ])
+    frame.index += 1
+
+
+def _bb_st_local(op, m):
+    a2d = _addr2d(m, op.a)
+    v2d = _store2d(m, op)
+    for w, warp in enumerate(m.warps):
+        warp.local_mem.scatter(a2d[w], m.masks[w], v2d[w])
+    m.frames[-1].index += 1
+
+
+def _bb_ld_const(op, m):
+    a2d = _addr2d(m, op.a)
+    frame = m.frames[-1]
+    frame.regs[op.dst] = m.ctx.image.constant_gather(
+        a2d.reshape(-1), m.masks_flat, op.b
+    ).reshape(m.W, m.warp_size)
+    frame.index += 1
+
+
+def _run_atomic_all(m, op, a2d, v2d, arena):
+    """Serial read-modify-write per lane, warp-major -- the order the
+    interpreter's per-warp visits produce, so old values are identical."""
+    dtype = op.c
+    old = np.zeros((m.W, m.warp_size), dtype=dtype)
+    apply_op = op.d
+    for w in range(m.W):
+        lanes = np.flatnonzero(m.masks[w])
+        addrs = a2d[w]
+        vals = v2d[w]
+        row = old[w]
+        for lane in lanes:
+            addr = addrs[lane: lane + 1]
+            current = arena.gather(addr, _ONE_LANE, dtype)[0]
+            row[lane] = current
+            arena.scatter(
+                addr, _ONE_LANE,
+                np.array([apply_op(current, vals[lane])], dtype=dtype),
+            )
+    m._pending += m._atomic_per_lane * m.nactive_arr
+    frame = m.frames[-1]
+    frame.regs[op.dst] = old
+    frame.index += 1
+
+
+def _bb_atomic_global(op, m):
+    a2d = _addr2d(m, op.a)
+    v2d = _store2d(m, op)
+    m._pend_mem(a2d, op.c.itemsize, 1, True)  # atomics bypass L1
+    _run_atomic_all(m, op, a2d, v2d, m.ctx.global_mem)
+    return "mem"
+
+
+def _bb_atomic_shared(op, m):
+    a2d = _addr2d(m, op.a)
+    v2d = _store2d(m, op)
+    m._pending += m._shared_cycles * np.maximum(
+        1, _bank_conflict_degrees(a2d, m.masks)
+    )
+    _run_atomic_all(m, op, a2d, v2d, m.ctx.shared_mem)
+
+
+def _bb_barrier(op, m):
+    # Serial raises on a divergent barrier; lock-step warps always
+    # arrive with mask == live lanes, so no check is needed here.
+    m.frames[-1].index += 1
+    return "barrier"
+
+
+def _bb_intrin(op, m):
+    cache = m._intrin_cache
+    v = cache.get(op.a)
+    if v is None:
+        vals = [op.a(w) for w in m.warps]
+        first = vals[0]
+        if np.ndim(first) == 0:
+            col = np.array(vals)
+            v = first if (col == first).all() else col.reshape(m.W, 1)
+        else:
+            stacked = np.stack(vals)
+            v = first if (stacked == first).all() else stacked
+        cache[op.a] = v
+    frame = m.frames[-1]
+    frame.regs[op.dst] = v
+    frame.index += 1
+
+
+def _bb_math(op, m):
+    frame = m.frames[-1]
+    regs = frame.regs
+    args = []
+    for r in op.a:
+        if type(r) is int:
+            v = regs[r]
+            if v is None:
+                _undef(frame, r)
+            if np.ndim(v) == 0:
+                v = np.full(m.warp_size, v, v.dtype)
+        else:
+            v = r
+        args.append(v)
+    regs[op.dst] = _apply_math(op.b, args, m.masks)
+    frame.index += 1
+
+
+def _bb_hook(op, m):
+    frame = m.frames[-1]
+    regs = frame.regs
+    args = []
+    for r in op.a:
+        if type(r) is int:
+            v = regs[r]
+            if v is None:
+                _undef(frame, r)
+            args.append(v)
+        else:
+            args.append(r)
+    m._pending += m._hook_pending
+    m._hook_events.append((op.b, args))
+    frame.index += 1
+
+
+def _bb_call(op, m):
+    frame = m.frames[-1]
+    frame.index += 1  # resume after the call on return
+    callee = op.b
+    new = _BFrame(callee, callee.entry, 0, [None] * callee.n_slots,
+                  frame.sp, frame.sp, op.dst)
+    regs = frame.regs
+    new_regs = new.regs
+    for slot, ref in zip(callee.arg_slots, op.a):
+        if type(ref) is int:
+            v = regs[ref]
+            if v is None:
+                _undef(frame, ref)
+        else:
+            v = ref
+        new_regs[slot] = v
+    m.frames.append(new)
+
+
+def _apply_phi_moves_all(m, frame, moves):
+    regs = frame.regs
+    vals = []
+    for dst, src, dtype in moves:
+        if type(src) is int:
+            v = regs[src]
+            if v is None:
+                _undef(frame, src)
+            if np.ndim(v) == 0:
+                v = np.full(m.warp_size, v, dtype)
+            elif v.ndim == 2 and v.shape[1] == 1 and v.dtype != dtype:
+                v = v.astype(dtype)  # serial scalars are cast by np.full
+        else:
+            v = src
+        vals.append(v)
+    full = m._all_resident
+    for (dst, _, _), v in zip(moves, vals):
+        prev = regs[dst]
+        if full or prev is None:
+            # Serial writes v to every lane here too (np.where under a
+            # full mask, or the first definition's v.copy()).
+            regs[dst] = v
+        else:
+            # Partially-resident warps: dead lanes keep their previous
+            # values, exactly as the serial masked merge leaves them.
+            regs[dst] = np.where(m.masks, v, prev)
+
+
+def _do_branch_all(m, edge):
+    target, moves = edge
+    frame = m.frames[-1]
+    if moves:
+        _apply_phi_moves_all(m, frame, moves)
+    frame.block = target
+    frame.index = 0
+
+
+def _bb_br(op, m):
+    _do_branch_all(m, (op.a, op.b))
+
+
+def _bb_condbr(op, m):
+    frame = m.frames[-1]
+    c = op.a
+    if type(c) is int:
+        c = frame.regs[c]
+        if c is None:
+            _undef(frame, op.a)
+    cond = np.broadcast_to(np.asarray(c), (m.W, m.warp_size))
+    taken = cond & m.masks
+    not_taken = ~cond & m.masks
+    if not not_taken.any():
+        edge = op.b
+    elif not taken.any():
+        edge = op.c
+    else:
+        # In-warp divergence, or warps going different ways: the CTA
+        # leaves lock-step. Raised before any mutation, so the serial
+        # interpreter re-executes this branch (and counts it).
+        raise _Debatch()
+    for warp in m.warps:
+        warp.branch_count += 1
+    _do_branch_all(m, edge)
+
+
+def _bb_ret(op, m):
+    frame = m.frames[-1]
+    value = None
+    ref = op.a
+    if ref is not None:
+        if type(ref) is int:
+            value = frame.regs[ref]
+            if value is None:
+                _undef(frame, ref)
+            ret_dtype = frame.decoded.ret_dtype
+            if np.ndim(value) == 0:
+                value = np.full(m.warp_size, value, ret_dtype)
+            elif (value.ndim == 2 and value.shape[1] == 1
+                  and value.dtype != ret_dtype):
+                value = value.astype(ret_dtype)
+        else:
+            value = ref
+    m.frames.pop()
+    if not m.frames:
+        for warp in m.warps:
+            warp.status = WarpStatus.DONE
+            warp.frames = []
+        return "done"
+    caller = m.frames[-1]
+    if frame.ret_slot is not None:
+        if value is None:
+            raise ExecutionError(f"@{frame.decoded.name} returned no value")
+        caller.regs[frame.ret_slot] = value
+    caller.sp = frame.base_sp  # rewind the local stack
+    return None
+
+
+#: Serial handler identity -> batched equivalent. Handlers absent here
+#: (_mo_raise, _mo_fell_off, _mo_unexpected_phi, and any future micro-op)
+#: de-batch the CTA, so the interpreter raises/handles them with exact
+#: per-warp state -- the backend contract's automatic-fallback rule.
+_BATCHED = {
+    _mo_alloca: _bb_alloca,
+    _mo_gep: _bb_gep,
+    _mo_gep_const: _bb_gep_const,
+    _mo_binop: _bb_binop,
+    _mo_const: _bb_const,
+    _mo_cast_repr: _bb_cast_repr,
+    _mo_cast_bool: _bb_cast_bool,
+    _mo_cast: _bb_cast,
+    _mo_select: _bb_select,
+    _mo_ld_global: _bb_ld_global,
+    _mo_ld_shared: _bb_ld_shared,
+    _mo_ld_local: _bb_ld_local,
+    _mo_ld_const: _bb_ld_const,
+    _mo_st_global: _bb_st_global,
+    _mo_st_shared: _bb_st_shared,
+    _mo_st_local: _bb_st_local,
+    _mo_atomic_global: _bb_atomic_global,
+    _mo_atomic_shared: _bb_atomic_shared,
+    _mo_barrier: _bb_barrier,
+    _mo_intrin: _bb_intrin,
+    _mo_math: _bb_math,
+    _mo_hook: _bb_hook,
+    _mo_call: _bb_call,
+    _mo_br: _bb_br,
+    _mo_condbr: _bb_condbr,
+    _mo_ret: _bb_ret,
+}
+
+
+class BatchedCTA:
+    """Lock-step executor for one CTA's warps.
+
+    Created at CTA residency when the CTA has >= 2 warps; ``run_round``
+    executes one scheduling round (the batched equivalent of the
+    per-warp quantum visits in ``Device._run_sm``) and either stays
+    batched or de-batches onto ``ctx.interp`` forever.
+    """
+
+    def __init__(self, device, ctx):
+        self.device = device
+        self.ctx = ctx
+        warps = ctx.warps
+        self.warps = warps
+        self.W = len(warps)
+        self.warp_size = warps[0].warp_size
+        self.masks = np.stack([w.resident_mask for w in warps])
+        self.masks_flat = self.masks.reshape(-1)
+        self.nactive_arr = self.masks.sum(axis=1)
+        self._nactive_int = [int(n) for n in self.nactive_arr]
+        self._all_resident = bool(self.masks.all())
+
+        arch = ctx.arch
+        # _model_global reads these three names off its `it` argument.
+        self.line_size = arch.l1_line_size
+        self.l2_latency = arch.l2_latency
+        self._issue_cycles = arch.issue_cycles
+        p = ctx.timing.params
+        self._shared_cycles = p.shared_access_cycles
+        self._atomic_per_lane = p.atomic_cycles_per_lane
+        self._hook_pending = (
+            p.hook_call_cycles
+            + self.nactive_arr * (p.hook_lane_cycles + p.hook_atomic_cycles)
+        ).astype(np.float64)
+
+        # Adopt the entry frames _build_sms pushed (identical across the
+        # CTA's warps: same decoded kernel, same bound-argument scalars).
+        f0 = warps[0].frames[-1]
+        self.entry_function = f0.function
+        entry = f0.stack[0]
+        self.frames: List[_BFrame] = [_BFrame(
+            f0.decoded, entry.block, entry.index, list(f0.regs),
+            f0.sp, f0.base_sp, f0.ret_slot,
+        )]
+        for warp in warps:
+            warp.frames = []
+
+        self._intrin_cache = {}
+        # Deferred per-segment side effects (flushed warp-major).
+        self._pending = np.zeros(self.W, dtype=np.float64)
+        self._hook_events: List[tuple] = []
+        self._seg_mem: Optional[tuple] = None
+        self._seg_steps = 0
+        self._seg_instr = 0
+
+    # -- segment-state plumbing ---------------------------------------------
+    def _pend_mem(self, a2d, width, mode, is_write) -> None:
+        if self._seg_mem is not None:
+            raise ExecutionError(
+                "batched backend invariant violated: two global-memory "
+                "micro-ops in one scheduling segment"
+            )
+        self._seg_mem = (a2d, width, mode, is_write)
+
+    def _row(self, v, w):
+        """Extract warp ``w``'s view of a batched value (hook replay)."""
+        if getattr(v, "ndim", 0) == 2:
+            return v[w, 0] if v.shape[1] == 1 else v[w]
+        return v
+
+    def _row_reg(self, v, w):
+        """Like :meth:`_row` but preserves ``None`` (undefined slots)."""
+        if v is None or getattr(v, "ndim", 0) != 2:
+            return v
+        return v[w, 0] if v.shape[1] == 1 else v[w]
+
+    def _replay_warp(self, w: int, warp) -> None:
+        """Apply one warp's share of the deferred segment side effects,
+        in the order the serial interpreter would have produced them."""
+        ctx = self.ctx
+        timing = ctx.timing
+        instr = self._seg_instr
+        warp.instructions_executed += instr
+        timing.cycles += instr * self._issue_cycles + float(self._pending[w])
+        events = self._hook_events
+        if events:
+            hooks = ctx.hooks
+            mask = self.masks[w]
+            nactive = self._nactive_int[w]
+            for name, args in events:
+                hooks.dispatch(
+                    name, [self._row(a, w) for a in args],
+                    mask, warp, ctx, nactive,
+                )
+        mem = self._seg_mem
+        if mem is not None:
+            a2d, width, mode, is_write = mem
+            _model_global(self, warp, a2d[w], self.masks[w], width, mode,
+                          is_write)
+
+    def _reset_segment(self) -> None:
+        self._hook_events.clear()
+        self._pending[:] = 0.0
+        self._seg_mem = None
+        self._seg_instr = 0
+        self._seg_steps = 0
+
+    def _flush(self) -> None:
+        if self._seg_instr or self._hook_events or self._seg_mem is not None:
+            for w, warp in enumerate(self.warps):
+                self._replay_warp(w, warp)
+        self._reset_segment()
+
+    # -- execution -----------------------------------------------------------
+    def run_round(self, quantum: int, rotate_on_mem: bool, steps: int,
+                  total_budget: int):
+        """One scheduling round for the whole CTA.
+
+        Returns ``(steps, progressed, debatched)`` with ``steps`` already
+        advanced by every warp's executed instructions.
+        """
+        frames = self.frames
+        table = _BATCHED
+        outcome = None
+        while self._seg_steps < quantum:
+            frame = frames[-1]
+            op = frame.block.ops[frame.index]
+            handler = table.get(op.run)
+            if handler is None:
+                return self._debatch(quantum, rotate_on_mem, steps,
+                                     total_budget)
+            try:
+                outcome = handler(op, self)
+            except _Debatch:
+                return self._debatch(quantum, rotate_on_mem, steps,
+                                     total_budget)
+            self._seg_instr += 1
+            if outcome is None:
+                self._seg_steps += 1
+                continue
+            if outcome == "barrier":
+                # Counts as an issued instruction but (like the serial
+                # BarrierReached path) not as a scheduler step.
+                break
+            self._seg_steps += 1
+            if outcome == "done" or rotate_on_mem:  # outcome == "mem"
+                break
+        steps += self._seg_steps * self.W
+        progressed = self._seg_steps > 0
+        self._flush()
+        if steps > total_budget:
+            raise ExecutionError(
+                "kernel exceeded the step budget (infinite loop?)"
+            )
+        if outcome == "barrier":
+            for warp in self.warps:
+                warp.status = WarpStatus.AT_BARRIER
+        return steps, progressed, False
+
+    def _debatch(self, quantum: int, rotate_on_mem: bool, steps: int,
+                 total_budget: int):
+        """Fall back to per-warp interpretation, mid-segment.
+
+        Materializes per-warp frames from the batched state, then -- per
+        warp, in warp order -- replays the segment's deferred side
+        effects and finishes the warp's scheduler visit (its remaining
+        quantum) on the interpreter. Afterwards the CTA runs interpreted
+        for good.
+        """
+        for w, warp in enumerate(self.warps):
+            warp.frames = [
+                Frame.resume(
+                    bf.decoded, bf.block, bf.index,
+                    [self._row_reg(v, w) for v in bf.regs],
+                    bf.sp, bf.base_sp, bf.ret_slot, warp.resident_mask,
+                )
+                for bf in self.frames
+            ]
+        steps += self._seg_steps * self.W
+        if steps > total_budget:
+            raise ExecutionError(
+                "kernel exceeded the step budget (infinite loop?)"
+            )
+        remaining = quantum - self._seg_steps
+        progressed = self._seg_steps > 0
+        device = self.device
+        interp = self.ctx.interp
+        for w, warp in enumerate(self.warps):
+            self._replay_warp(w, warp)
+            before = steps
+            steps = device._visit_warp(
+                interp, warp, remaining, rotate_on_mem, steps, total_budget
+            )
+            progressed = progressed or steps != before
+        self._reset_segment()
+        return steps, progressed, True
+
+
+def run_sm_batched(device, sm, image, total_budget: int) -> int:
+    """Run one SM's CTAs to completion with the batched backend.
+
+    Mirrors ``Device._run_sm`` exactly -- same occupancy, refill,
+    barrier-release, deadlock and budget rules -- but CTAs with >= 2
+    warps execute on a :class:`BatchedCTA` until they de-batch.
+    ``Device.launch`` never routes pc-sampling launches here (they need
+    per-instruction stepping).
+    """
+    steps = 0
+    quantum = device.scheduler_quantum if device.scheduler == "gto" else 1
+    rotate_on_mem = device.scheduler == "gto"
+    finished: List[object] = []
+
+    max_resident = device.arch.max_ctas_per_sm
+    if image.shared_bytes_per_cta > 0:
+        by_shared = device.arch.shared_mem_per_sm // image.shared_bytes_per_cta
+        max_resident = max(1, min(max_resident, by_shared))
+
+    def refill() -> None:
+        while sm.pending and len(
+            [c for c in sm.resident if c not in finished]
+        ) < max_resident:
+            ctx = sm.pending.pop(0)
+            ctx.interp = WarpInterpreter(ctx)
+            # Kernels that already de-batched once (divergent control
+            # flow, unbatchable micro-op) will do it again: skip the
+            # doomed batched attempt for their later CTAs. Results are
+            # backend-independent, so this is purely a speed heuristic.
+            entry_fn = ctx.warps[0].frames[-1].function
+            ctx.batched = (
+                BatchedCTA(device, ctx)
+                if len(ctx.warps) >= 2
+                and entry_fn not in device._debatched_kernels
+                else None
+            )
+            sm.resident.append(ctx)
+        live_warps = sum(
+            1
+            for c in sm.resident
+            if c not in finished
+            for w in c.warps
+            if not w.done
+        )
+        sm.timing.set_resident_warps(live_warps)
+
+    refill()
+    while True:
+        active_ctxs = [c for c in sm.resident if c not in finished]
+        if not active_ctxs:
+            break
+        progressed = False
+        for ctx in active_ctxs:
+            if ctx.batched is not None:
+                steps, cta_progress, debatched = ctx.batched.run_round(
+                    quantum, rotate_on_mem, steps, total_budget
+                )
+                if debatched:
+                    device._debatched_kernels.add(
+                        ctx.batched.entry_function
+                    )
+                    ctx.batched = None
+                progressed = progressed or cta_progress
+            else:
+                cta_progress = False
+                for warp in ctx.warps:
+                    if warp.status != WarpStatus.READY:
+                        continue
+                    before = steps
+                    steps = device._visit_warp(
+                        ctx.interp, warp, quantum, rotate_on_mem, steps,
+                        total_budget,
+                    )
+                    cta_progress = cta_progress or steps != before
+                progressed = progressed or cta_progress
+            # Barrier release: all live warps waiting.
+            live = [w for w in ctx.warps if not w.done]
+            if live and all(w.status == WarpStatus.AT_BARRIER for w in live):
+                for w in live:
+                    w.status = WarpStatus.READY
+                progressed = True
+            if all(w.done for w in ctx.warps):
+                finished.append(ctx)
+                refill()
+        if not progressed:
+            raise ExecutionError(
+                "SM deadlock: warps waiting at a barrier that can never "
+                "complete (diverged exits before __syncthreads()?)"
+            )
+    return steps

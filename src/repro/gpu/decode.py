@@ -26,6 +26,14 @@ They are module-level functions (fork-safe for the parallel launch
 path) and must mirror the seed interpreter's semantics exactly --
 equivalence is pinned by tests/test_fastpath_equivalence.py and the
 committed benchmark outputs.
+
+The micro-op array is the contract between execution backends (see
+docs/architecture.md): the per-warp interpreter calls ``op.run``
+directly, while the batched backend (:mod:`repro.gpu.backend_batched`)
+dispatches on the *identity* of ``op.run`` to a vectorized equivalent
+and falls back to the interpreter for any handler it has no entry for.
+Adding a handler here therefore never breaks the batched backend -- at
+worst the new micro-op de-batches the CTA that executes it.
 """
 
 from __future__ import annotations

@@ -17,14 +17,16 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ExecutionError, LaunchError
+from repro.errors import ExecutionError, LaunchDegradedWarning, LaunchError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40C
+from repro.gpu.backend_batched import run_sm_batched
 from repro.gpu.cache import CacheStats, MSHRFile, SetAssociativeCache
 from repro.gpu.decode import decode_module
 from repro.gpu.interpreter import BarrierReached, WarpInterpreter
@@ -311,6 +313,16 @@ class Device:
         self.max_steps = 200_000_000
         #: >=2 shards CTAs across worker processes in Device.launch.
         self.parallel_workers: Optional[int] = None
+        #: "interpreter" steps each warp on its own; "batched" executes
+        #: a CTA's lock-step warps as one numpy op per instruction and
+        #: falls back to the interpreter per CTA on divergence or
+        #: unsupported micro-ops (see docs/architecture.md). Both
+        #: backends produce byte-identical traces and statistics.
+        self.backend = "interpreter"
+        self._launch_backend = "interpreter"  # resolved per launch
+        #: kernels whose CTAs de-batched once; later CTAs skip the
+        #: batched attempt (a speed heuristic, never a semantic one).
+        self._debatched_kernels: set = set()
 
     # -- memory API (used by the host runtime) ---------------------------------
     def malloc(self, nbytes: int, tag: str = "") -> DevicePointer:
@@ -363,6 +375,21 @@ class Device:
         fall back to serial execution).
         """
         start = time.perf_counter()
+        if self.backend not in ("interpreter", "batched"):
+            raise LaunchError(
+                f"unknown execution backend {self.backend!r}: expected "
+                f"'interpreter' or 'batched'"
+            )
+        backend = self.backend
+        if backend == "batched" and pc_sampler is not None:
+            warnings.warn(
+                "pc sampling needs per-instruction stepping: this launch "
+                "falls back from the batched backend to the interpreter",
+                LaunchDegradedWarning,
+                stacklevel=2,
+            )
+            backend = "interpreter"
+        self._launch_backend = backend
         kernel = image.kernel(kernel_name)
         grid3 = _as_dim3(grid)
         block3 = _as_dim3(block)
@@ -393,6 +420,13 @@ class Device:
                 image, kernel_name, grid3, block3, bound_args, hooks,
                 l1_warps_per_cta, warps_per_cta, num_ctas, start,
             )
+            if result is None:
+                warnings.warn(
+                    "parallel launch fell back to serial: CTAs in "
+                    "different shards wrote overlapping global memory",
+                    LaunchDegradedWarning,
+                    stacklevel=2,
+                )
         if result is None:
             sms = self._build_sms(
                 image, kernel_name, grid3, block3, bound_args, hooks,
@@ -400,7 +434,7 @@ class Device:
             )
             total_steps = 0
             for index in sorted(sms):
-                total_steps += self._run_sm(
+                total_steps += self._run_sm_any(
                     sms[index], image, total_budget=self.max_steps
                 )
             result = self._collect_result(
@@ -512,16 +546,29 @@ class Device:
 
     # -- parallel launch ----------------------------------------------------------
     def _parallel_eligible(self, hooks, pc_sampler, num_ctas: int) -> bool:
+        # Sampled launches (hooks.sample_rate > 1) ARE eligible: the
+        # stride filter runs at drain time over the merged trace, so
+        # sharding cannot change which events are kept.
         workers = self.parallel_workers
         if not workers or workers < 2 or num_ctas < 2:
             return False
         if pc_sampler is not None:
+            warnings.warn(
+                "pc sampling keeps one global sample clock: this launch "
+                "runs serially despite device.parallel_workers",
+                LaunchDegradedWarning,
+                stacklevel=3,
+            )
             return False
-        # Event sampling keeps one global counter; sharding would change
-        # which events are sampled.
-        if getattr(hooks, "sample_rate", 1) != 1:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            warnings.warn(
+                "this platform cannot fork worker processes: this launch "
+                "runs serially despite device.parallel_workers",
+                LaunchDegradedWarning,
+                stacklevel=3,
+            )
             return False
-        return "fork" in multiprocessing.get_all_start_methods()
+        return True
 
     def _launch_parallel(
         self,
@@ -627,7 +674,9 @@ class Device:
         )
         steps = 0
         for index in sorted(sms):
-            steps += self._run_sm(sms[index], image, total_budget=self.max_steps)
+            steps += self._run_sm_any(
+                sms[index], image, total_budget=self.max_steps
+            )
         dirty = np.flatnonzero(self.memory._buf != base_mem).astype(np.int64)
         branches = divergent = 0
         for sm in sms.values():
@@ -685,6 +734,46 @@ class Device:
                 raise LaunchError(f"unsupported parameter type {t}")
         return bound
 
+    def _run_sm_any(
+        self, sm: _SM, image: DeviceModuleImage, total_budget: int
+    ) -> int:
+        """Run one SM on the backend resolved for the current launch."""
+        if self._launch_backend == "batched":
+            return run_sm_batched(self, sm, image, total_budget)
+        return self._run_sm(sm, image, total_budget)
+
+    def _visit_warp(
+        self,
+        interp: WarpInterpreter,
+        warp: Warp,
+        quantum: int,
+        rotate_on_mem: bool,
+        steps: int,
+        total_budget: int,
+    ) -> int:
+        """One scheduler visit: step ``warp`` up to ``quantum`` times.
+
+        Returns the updated SM step count; callers detect progress by
+        comparing it with the value they passed in. Shared by the serial
+        driver below and the batched backend's de-batch fallback.
+        """
+        for _ in range(quantum):
+            try:
+                outcome = interp.step(warp)
+            except BarrierReached:
+                warp.status = WarpStatus.AT_BARRIER
+                break
+            steps += 1
+            if warp.done:
+                break
+            if steps > total_budget:
+                raise ExecutionError(
+                    "kernel exceeded the step budget (infinite loop?)"
+                )
+            if rotate_on_mem and outcome == "mem":
+                break
+        return steps
+
     def _run_sm(self, sm: _SM, image: DeviceModuleImage, total_budget: int) -> int:
         """Run one SM's CTAs to completion; returns instructions executed."""
         steps = 0
@@ -726,23 +815,12 @@ class Device:
                 for warp in ctx.warps:
                     if warp.status != WarpStatus.READY:
                         continue
-                    for _ in range(quantum):
-                        try:
-                            outcome = ctx.interp.step(warp)
-                        except BarrierReached:
-                            warp.status = WarpStatus.AT_BARRIER
-                            break
-                        steps += 1
-                        cta_progress = True
-                        if warp.done:
-                            break
-                        if steps > total_budget:
-                            raise ExecutionError(
-                                "kernel exceeded the step budget "
-                                "(infinite loop?)"
-                            )
-                        if rotate_on_mem and outcome == "mem":
-                            break
+                    before = steps
+                    steps = self._visit_warp(
+                        ctx.interp, warp, quantum, rotate_on_mem, steps,
+                        total_budget,
+                    )
+                    cta_progress = cta_progress or steps != before
                     progressed = progressed or cta_progress
                 # Barrier release: all live warps waiting.
                 live = [w for w in ctx.warps if not w.done]

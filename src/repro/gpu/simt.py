@@ -95,6 +95,23 @@ class Frame:
     def top(self) -> StackEntry:
         return self.stack[-1]
 
+    @classmethod
+    def resume(cls, decoded, block, index: int, regs, sp: int, base_sp: int,
+               ret_slot, mask: np.ndarray) -> "Frame":
+        """Rebuild a frame mid-execution at ``block``/``index``.
+
+        Used by the batched backend's de-batch fallback: batched frames
+        only exist under uniform control flow, so the rebuilt frame has a
+        single stack entry carrying the full mask and no returned lanes.
+        """
+        frame = cls(decoded, mask, sp, ret_slot)
+        frame.regs = regs
+        frame.base_sp = base_sp
+        entry = frame.stack[0]
+        entry.block = block
+        entry.index = index
+        return frame
+
 
 class Warp:
     """A 32-lane warp plus its execution state."""

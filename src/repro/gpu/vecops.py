@@ -149,6 +149,19 @@ def _apply_math(name: str, args: List[np.ndarray], mask) -> np.ndarray:
     raise ExecutionError(f"unknown math intrinsic {name}")
 
 
+def _bank_conflict_degrees(addrs: np.ndarray, masks: np.ndarray) -> np.ndarray:
+    """Per-warp bank-conflict degrees for batched shared accesses.
+
+    ``addrs``/``masks`` are ``(num_warps, warp_size)``; returns one
+    :func:`_bank_conflict_degree` per row, so the batched backend charges
+    the same shared-access cycles the serial interpreter would.
+    """
+    return np.array(
+        [_bank_conflict_degree(a, m) for a, m in zip(addrs, masks)],
+        dtype=np.int64,
+    )
+
+
 def _bank_conflict_degree(addrs: np.ndarray, mask: np.ndarray) -> int:
     """Shared memory is banked (32 banks, 4-byte words): lanes hitting
     different words of the same bank serialize. Returns the worst-case

@@ -154,6 +154,14 @@ class MemoryColumns:
     def __iter__(self):
         return (self.record(i) for i in range(len(self)))
 
+    def take(self, rows) -> "MemoryColumns":
+        """Row-subset view (numpy index/mask); seqs keep their values."""
+        return MemoryColumns(
+            self.seq[rows], self.cta[rows], self.warp_in_cta[rows],
+            self.bits[rows], self.line[rows], self.col[rows], self.op[rows],
+            self.call_path_id[rows], self.addresses[rows], self.mask[rows],
+        )
+
 
 class ColumnarMemoryBuffer(_ColumnarBase):
     """SoA append buffer for instrumented memory accesses."""
@@ -419,6 +427,16 @@ class ArithColumns:
     def __iter__(self):
         return (self.record(i) for i in range(len(self)))
 
+    def take(self, rows) -> "ArithColumns":
+        """Row-subset view (numpy index/mask); seqs keep their values."""
+        idx = np.flatnonzero(rows) if np.asarray(rows).dtype == bool else rows
+        return ArithColumns(
+            self.seq[idx], self.cta[idx], self.warp_in_cta[idx],
+            self.bits[idx], self.is_float[idx], self.line[idx],
+            self.col[idx], self.active_lanes[idx], self.call_path_id[idx],
+            [self.opcodes[i] for i in idx],
+        )
+
 
 class ColumnarArithBuffer(_ColumnarBase):
     """SoA append buffer for instrumented arithmetic events."""
@@ -505,3 +523,38 @@ class ColumnarArithBuffer(_ColumnarBase):
         self._n = 0
         self._alloc = 0
         return view
+
+
+def stride_sample(memory: MemoryColumns, arith: ArithColumns,
+                  rate: int):
+    """Every ``rate``-th event of the merged memory+arith stream.
+
+    The sampled trace is a strict row-subset of the full trace: events
+    are ranked by sequence number across both column sets together (the
+    order the hooks fired in) and ranks ``0, rate, 2*rate, ...`` are
+    kept, seqs untouched. Because the filter runs at drain time over
+    already-merged columns -- not via a shared counter at append time --
+    sampled launches stay eligible for the parallel and batched fast
+    paths: sharding or batching changes *when* events are appended, never
+    their seq order, so the kept set is identical to a serial run's.
+    """
+    if rate == 1:
+        return memory, arith
+    n_mem = len(memory)
+    seqs = np.concatenate([memory.seq, arith.seq])
+    order = np.argsort(seqs)  # seqs are unique across both streams
+    ranks = np.empty(len(seqs), dtype=np.int64)
+    ranks[order] = np.arange(len(seqs))
+    keep = ranks % rate == 0
+    return memory.take(keep[:n_mem]), arith.take(keep[n_mem:])
+
+
+def clip_to_capacity(cols, capacity: Optional[int]):
+    """Keep the first ``capacity`` rows; returns ``(cols, dropped)``.
+
+    Applied after :func:`stride_sample` so a sampled, capped launch
+    retains exactly the rows a capped append-time filter would have.
+    """
+    if capacity is None or len(cols) <= capacity:
+        return cols, 0
+    return cols.take(np.arange(capacity)), len(cols) - capacity

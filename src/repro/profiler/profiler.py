@@ -20,6 +20,8 @@ from repro.profiler.buffers import (
     ColumnarArithBuffer,
     ColumnarBlockBuffer,
     ColumnarMemoryBuffer,
+    clip_to_capacity,
+    stride_sample,
 )
 from repro.profiler.codecentric import CallPathRegistry, GPUPathEntry
 from repro.profiler.records import (
@@ -81,13 +83,19 @@ class HookRuntime:
         self.launch_site = launch_site
         #: record every Nth memory/arith event (the paper's Section 5
         #: overhead-reduction direction); call-path and block events are
-        #: never sampled (the shadow stacks must stay exact).
+        #: never sampled (the shadow stacks must stay exact). Sampling
+        #: is a drain-time stride filter over the merged trace (see
+        #: :func:`repro.profiler.buffers.stride_sample`), so sampled
+        #: launches still use the parallel/batched fast paths; the
+        #: memory/arith buffers run uncapped during the launch and the
+        #: capacity is applied to the filtered rows at kernel_end.
         self.sample_rate = sample_rate
-        self._sample_counter = 0
+        self._capacity = buffer_capacity
 
-        self.memory_buffer = ColumnarMemoryBuffer(buffer_capacity)
+        event_capacity = buffer_capacity if sample_rate == 1 else None
+        self.memory_buffer = ColumnarMemoryBuffer(event_capacity)
         self.block_buffer = ColumnarBlockBuffer(buffer_capacity)
-        self.arith_buffer = ColumnarArithBuffer(buffer_capacity)
+        self.arith_buffer = ColumnarArithBuffer(event_capacity)
         self.call_paths = CallPathRegistry()
 
         self._seq = 0
@@ -124,6 +132,15 @@ class HookRuntime:
 
     def kernel_end(self, launch_result) -> None:
         info = self._launch_info or {}
+        memory = self.memory_buffer.drain()
+        arith = self.arith_buffer.drain()
+        clipped = 0
+        if self.sample_rate > 1:
+            memory, arith = stride_sample(memory, arith, self.sample_rate)
+            memory, n = clip_to_capacity(memory, self._capacity)
+            clipped += n
+            arith, n = clip_to_capacity(arith, self._capacity)
+            clipped += n
         self.profile = KernelProfile(
             kernel=self.kernel,
             host_call_path=self.host_call_path,
@@ -132,15 +149,16 @@ class HookRuntime:
             block=info.get("block", (0, 0, 0)),
             num_ctas=info.get("num_ctas", 0),
             warps_per_cta=info.get("warps_per_cta", 0),
-            memory_records=self.memory_buffer.drain(),
+            memory_records=memory,
             block_records=self.block_buffer.drain(),
-            arith_records=self.arith_buffer.drain(),
+            arith_records=arith,
             call_paths=self.call_paths,
             functions_by_id=self.image.functions_by_id,
             dropped_records=(
                 self.memory_buffer.dropped
                 + self.block_buffer.dropped
                 + self.arith_buffer.dropped
+                + clipped
             ),
             launch_result=launch_result,
         )
@@ -219,15 +237,7 @@ class HookRuntime:
             self._strings[addr] = text
         return text
 
-    def _sampled_out(self) -> bool:
-        if self.sample_rate == 1:
-            return False
-        self._sample_counter += 1
-        return (self._sample_counter - 1) % self.sample_rate != 0
-
     def _on_record(self, args, mask, warp) -> None:
-        if self._sampled_out():
-            return
         addrs = np.asarray(args[0])
         if addrs.ndim == 0:
             addrs = np.full(warp.warp_size, int(addrs), dtype=np.int64)
@@ -264,8 +274,6 @@ class HookRuntime:
         )
 
     def _on_arith(self, args, mask, warp, nactive=None) -> None:
-        if self._sampled_out():
-            return
         a0 = args[0]
         opcode = self._string_at(a0 if type(a0) is int else int(a0) if a0.ndim == 0 else int(a0.flat[0]))
         seq = self._seq

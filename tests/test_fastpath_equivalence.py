@@ -1,7 +1,8 @@
-"""Fast-path equivalence: the columnar trace buffers and the parallel
-launch must be invisible to every consumer.
+"""Fast-path equivalence: the columnar trace buffers, the parallel
+launch, and the batched-warp backend must be invisible to every
+consumer.
 
-Two properties are pinned here:
+Four properties are pinned here:
 
 * **Columnar vs. record analyses** -- running the analyzers over the
   drained column views must give numerically identical results to
@@ -10,6 +11,12 @@ Two properties are pinned here:
 * **Parallel vs. serial launch** -- with ``Device.parallel_workers``
   set, drained traces, call-path registries, and hardware statistics
   must be byte-identical to a serial run.
+* **Batched vs. interpreter backend** -- with ``device.backend =
+  "batched"``, everything above must again be byte-identical, alone
+  and combined with parallel workers.
+* **Stride sampling** -- a ``sample_rate=k`` trace must be exactly
+  every k-th record of the full serial memory+arith stream (same seqs,
+  same bytes), whichever backend or worker count produced it.
 """
 
 import numpy as np
@@ -46,14 +53,17 @@ APPS = [
 ]
 
 
-def _profile_session(app_name, app_kwargs, workers=None):
+def _profile_session(app_name, app_kwargs, workers=None, backend=None,
+                     sample_rate=1):
     app = build_app(app_name, **app_kwargs)
     module = compile_kernels(list(app.kernels), app_name)
     optimization_pipeline().run(module)
     instrumentation_pipeline(["memory", "blocks", "arith"]).run(module)
-    session = ProfilingSession()
+    session = ProfilingSession(sample_rate=sample_rate)
     device = Device(KEPLER_K40C)
     device.parallel_workers = workers
+    if backend is not None:
+        device.backend = backend
     runtime = CudaRuntime(device, profiler=session)
     image = device.load_module(module)
     state = app.prepare(runtime)
@@ -129,12 +139,9 @@ class TestColumnarVsRecordAnalyses:
             )
 
 
-@pytest.mark.parametrize("app_name,app_kwargs", APPS)
-def test_parallel_launch_matches_serial(app_name, app_kwargs):
-    serial = _profile_session(app_name, app_kwargs).profiles
-    parallel = _profile_session(app_name, app_kwargs, workers=4).profiles
-    assert len(serial) == len(parallel)
-    for pa, pb in zip(serial, parallel):
+def _assert_profiles_match(serial, other):
+    assert len(serial) == len(other)
+    for pa, pb in zip(serial, other):
         assert len(pa.memory_records) == len(pb.memory_records)
         assert all(
             _memory_record_equal(a, b)
@@ -155,6 +162,67 @@ def test_parallel_launch_matches_serial(app_name, app_kwargs):
         assert la.branches == lb.branches
         assert la.divergent_branches == lb.divergent_branches
         assert la.cache == lb.cache
+
+
+@pytest.mark.parametrize("app_name,app_kwargs", APPS)
+def test_parallel_launch_matches_serial(app_name, app_kwargs):
+    serial = _profile_session(app_name, app_kwargs).profiles
+    parallel = _profile_session(app_name, app_kwargs, workers=4).profiles
+    _assert_profiles_match(serial, parallel)
+
+
+@pytest.mark.parametrize("app_name,app_kwargs", APPS)
+def test_batched_backend_matches_interpreter(app_name, app_kwargs):
+    serial = _profile_session(app_name, app_kwargs).profiles
+    batched = _profile_session(app_name, app_kwargs, backend="batched")
+    _assert_profiles_match(serial, batched.profiles)
+
+
+@pytest.mark.parametrize("app_name,app_kwargs", APPS)
+def test_batched_parallel_matches_serial_interpreter(app_name, app_kwargs):
+    serial = _profile_session(app_name, app_kwargs).profiles
+    combined = _profile_session(
+        app_name, app_kwargs, workers=4, backend="batched"
+    )
+    _assert_profiles_match(serial, combined.profiles)
+
+
+@pytest.mark.parametrize("rate", [2, 3, 5])
+@pytest.mark.parametrize(
+    "backend,workers",
+    [("interpreter", None), ("batched", None), ("interpreter", 4),
+     ("batched", 4)],
+)
+def test_stride_sampling_is_exact_subset(rate, backend, workers):
+    """sample_rate=k keeps exactly every k-th event of the merged
+    memory+arith stream of a full serial trace -- same seqs, same rows --
+    regardless of backend or worker count, and block records are never
+    sampled."""
+    app_name, app_kwargs = APPS[0]
+    full = _profile_session(app_name, app_kwargs).profiles
+    sampled = _profile_session(
+        app_name, app_kwargs, workers=workers, backend=backend,
+        sample_rate=rate,
+    ).profiles
+    assert len(full) == len(sampled)
+    for pf, ps in zip(full, sampled):
+        merged = {}
+        for record in pf.memory_records:
+            merged[record.seq] = ("mem", record)
+        for record in pf.arith_records:
+            merged[record.seq] = ("arith", record)
+        kept_seqs = sorted(merged)[::rate]
+        expect_mem = [merged[s][1] for s in kept_seqs if merged[s][0] == "mem"]
+        expect_arith = [
+            merged[s][1] for s in kept_seqs if merged[s][0] == "arith"
+        ]
+        assert len(ps.memory_records) == len(expect_mem)
+        assert all(
+            _memory_record_equal(a, b)
+            for a, b in zip(expect_mem, ps.memory_records)
+        )
+        assert list(ps.arith_records) == expect_arith
+        assert list(ps.block_records) == list(pf.block_records)
 
 
 def test_parallel_conflicting_writes_fall_back_to_serial():

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links resolve.
+
+Scans every tracked ``*.md`` file (or the paths given on the command
+line) for inline links and images (``[text](target)``), skips external
+schemes and pure in-page anchors, resolves the rest against the linking
+file's directory (or the repo root for absolute ``/`` paths), and fails
+with a listing if any target file is missing. Anchors on existing files
+(``architecture.md#knobs``) are checked for file existence only.
+
+Usage::
+
+    python tools/check_links.py            # all *.md under the repo
+    python tools/check_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: inline markdown link/image: [text](target) / ![alt](target); the
+#: target group stops before an optional "title" and the closing paren.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: directories never scanned for source files
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+def iter_markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def check_file(path: Path) -> list:
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            if target.startswith("/"):
+                resolved = REPO_ROOT / target.lstrip("/")
+            else:
+                resolved = path.parent / target
+            if not resolved.exists():
+                failures.append((path, lineno, match.group(1)))
+    return failures
+
+
+def main(argv) -> int:
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = list(iter_markdown_files(REPO_ROOT))
+    failures = []
+    for path in files:
+        failures.extend(check_file(path))
+    for path, lineno, target in failures:
+        rel = path.relative_to(REPO_ROOT)
+        print(f"{rel}:{lineno}: broken link -> {target}")
+    print(
+        f"checked {len(files)} markdown file(s): "
+        + (f"{len(failures)} broken link(s)" if failures else "all links ok")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
