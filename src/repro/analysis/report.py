@@ -67,6 +67,30 @@ def render_branch_table(
     return "\n".join(lines)
 
 
+def render_buffer_accounting(app: str, profiles: Sequence) -> str:
+    """Per-launch trace-buffer accounting (drops, spill, corruption).
+
+    Only meaningful when a launch overflowed its buffer capacity or
+    spilled segments to disk (see docs/reliability.md); the CLI prints
+    it only in that case.
+    """
+    lines = [
+        f"Trace buffers -- {app}",
+        f"{'kernel':<20} {'kept':>10} {'dropped':>9} "
+        f"{'spilled':>9} {'corrupt':>9}",
+    ]
+    for p in profiles:
+        kept = (
+            len(p.memory_records) + len(p.block_records)
+            + len(p.arith_records)
+        )
+        lines.append(
+            f"{p.kernel:<20} {kept:>10} {p.dropped_records:>9} "
+            f"{p.spilled_records:>9} {p.corrupt_records:>9}"
+        )
+    return "\n".join(lines)
+
+
 def render_bypass_table(
     arch_label: str,
     rows: Sequence[Tuple[str, float, float, int, int]],

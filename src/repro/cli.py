@@ -19,17 +19,46 @@ from typing import List, Optional
 
 from repro.analysis.report import (
     render_branch_table,
+    render_buffer_accounting,
     render_divergence_distribution,
     render_reuse_histogram,
 )
 from repro.apps import APP_NAMES, TABLE2, build_app
 from repro.backend import lower_module_to_ptx
+from repro.errors import ReproError
 from repro.frontend.dsl import compile_kernels
 from repro.gpu.arch import KEPLER_K40C, PASCAL_P100, kepler_with_l1
 from repro.optim.advisor import CUDAAdvisor
 from repro.passes import optimization_pipeline
+from repro.reliability import FAILURE_POLICIES
 
 ARCHES = {"kepler": KEPLER_K40C, "pascal": PASCAL_P100}
+BACKENDS = ("interpreter", "batched")
+MODES = ("memory", "blocks", "arith")
+
+
+class _UsageError(Exception):
+    """A bad invocation; main() prints one friendly line and exits 2."""
+
+
+def _check_app(name: str) -> str:
+    if name not in APP_NAMES:
+        known = ", ".join(sorted(APP_NAMES))
+        raise _UsageError(f"unknown app {name!r}: pick one of {known}")
+    return name
+
+
+def _parse_modes(spec: str) -> tuple:
+    modes = tuple(m.strip() for m in spec.split(",") if m.strip())
+    if not modes:
+        raise _UsageError("--modes needs at least one of: " + ", ".join(MODES))
+    for mode in modes:
+        if mode not in MODES:
+            raise _UsageError(
+                f"unknown analysis mode {mode!r}: expected a comma-separated "
+                f"subset of {', '.join(MODES)}"
+            )
+    return modes
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -43,7 +72,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the Table 2 benchmark suite")
 
     profile = sub.add_parser("profile", help="run CUDAAdvisor on an app")
-    profile.add_argument("app", choices=APP_NAMES)
+    profile.add_argument("app")
     profile.add_argument("--arch", choices=sorted(ARCHES), default="kepler")
     profile.add_argument(
         "--modes", default="memory,blocks",
@@ -57,23 +86,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the full report as JSON instead of text",
     )
+    profile.add_argument(
+        "--backend", default=None,
+        help="execution backend: interpreter or batched",
+    )
+    profile.add_argument(
+        "--workers", type=int, default=None,
+        help="shard eligible launches across N forked workers",
+    )
+    profile.add_argument(
+        "--failure-policy", default=None, choices=FAILURE_POLICIES,
+        help="how launches react when they cannot run as requested "
+        "(default: degrade; see docs/reliability.md)",
+    )
+    profile.add_argument(
+        "--sample-rate", type=int, default=1,
+        help="keep every Nth trace record (drain-time stride sampling)",
+    )
+    profile.add_argument(
+        "--buffer-capacity", type=int, default=None,
+        help="cap per-launch trace records (oldest kept, rest dropped)",
+    )
+    profile.add_argument(
+        "--spill-dir", default=None,
+        help="spill full trace-buffer segments to this directory "
+        "instead of growing in memory",
+    )
+    profile.add_argument(
+        "--spill-rows", type=int, default=None,
+        help="rows per spill segment (needs --spill-dir; default 65536)",
+    )
 
     bypass = sub.add_parser(
         "bypass", help="evaluate Eq.(1) horizontal bypassing vs the oracle"
     )
-    bypass.add_argument("app", choices=APP_NAMES)
+    bypass.add_argument("app")
     bypass.add_argument("--l1", type=int, default=16, choices=(16, 32, 48),
                         help="Kepler L1 size in KB")
 
     ptx = sub.add_parser("ptx", help="dump the PTX for an app's kernels")
-    ptx.add_argument("app", choices=APP_NAMES)
+    ptx.add_argument("app")
     ptx.add_argument("--cc", default="3.5", help="compute capability")
 
     instr = sub.add_parser(
         "instrument",
         help="dump an app's instrumented IR (the opt-pass view)",
     )
-    instr.add_argument("app", choices=APP_NAMES)
+    instr.add_argument("app")
     instr.add_argument("--modes", default="memory",
                        help="comma-separated: memory, blocks, arith")
     instr.add_argument("--no-optimize", action="store_true",
@@ -92,13 +151,33 @@ def _cmd_list() -> int:
 
 
 def _cmd_profile(args) -> int:
-    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    modes = _parse_modes(args.modes)
+    if args.backend is not None and args.backend not in BACKENDS:
+        raise _UsageError(
+            f"unknown backend {args.backend!r}: expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    if args.workers is not None and args.workers < 1:
+        raise _UsageError("--workers must be >= 1")
+    if args.sample_rate < 1:
+        raise _UsageError("--sample-rate must be >= 1")
+    if args.spill_rows is not None and args.spill_dir is None:
+        raise _UsageError("--spill-rows needs --spill-dir")
+    if args.spill_rows is not None and args.spill_rows < 1:
+        raise _UsageError("--spill-rows must be >= 1")
     advisor = CUDAAdvisor(
         arch=ARCHES[args.arch],
         modes=modes,
         measure_overhead=not args.no_overhead,
+        buffer_capacity=args.buffer_capacity,
+        sample_rate=args.sample_rate,
+        backend=args.backend,
+        parallel_workers=args.workers,
+        failure_policy=args.failure_policy,
+        spill_dir=args.spill_dir,
+        spill_rows=args.spill_rows or 65536,
     )
-    report = advisor.profile(build_app(args.app))
+    report = advisor.profile(build_app(_check_app(args.app)))
 
     if args.json:
         import json
@@ -124,6 +203,11 @@ def _cmd_profile(args) -> int:
         print("### overhead")
         print(report.overhead.render())
         print()
+    profiles = report.session.profiles
+    if any(p.dropped_records or p.spilled_records for p in profiles):
+        print("### trace buffers")
+        print(render_buffer_accounting(args.app, profiles))
+        print()
     if len(report.session.profiles) > 1:
         from repro.analysis.statistics import (
             aggregate_instances,
@@ -146,7 +230,7 @@ def _cmd_bypass(args) -> int:
     arch = kepler_with_l1(args.l1)
     advisor = CUDAAdvisor(arch=arch, modes=("memory",),
                           measure_overhead=False)
-    app = build_app(args.app)
+    app = build_app(_check_app(args.app))
     report = advisor.profile(app)
     prediction = report.bypass_prediction
     print(f"Eq.(1): raw = {prediction.raw_value:.4f} -> allow "
@@ -165,7 +249,7 @@ def _cmd_bypass(args) -> int:
 
 
 def _cmd_ptx(args) -> int:
-    app = build_app(args.app)
+    app = build_app(_check_app(args.app))
     module = compile_kernels(list(app.kernels), args.app)
     optimization_pipeline().run(module)
     print(lower_module_to_ptx(module, args.cc))
@@ -176,11 +260,11 @@ def _cmd_instrument(args) -> int:
     from repro.ir import print_module
     from repro.passes import instrumentation_pipeline
 
-    app = build_app(args.app)
+    app = build_app(_check_app(args.app))
     module = compile_kernels(list(app.kernels), args.app)
     if not args.no_optimize:
         optimization_pipeline().run(module)
-    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    modes = _parse_modes(args.modes)
     instrumentation_pipeline(modes).run(module)
     print(print_module(module))
     return 0
@@ -188,17 +272,24 @@ def _cmd_instrument(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "profile":
-        return _cmd_profile(args)
-    if args.command == "bypass":
-        return _cmd_bypass(args)
-    if args.command == "ptx":
-        return _cmd_ptx(args)
-    if args.command == "instrument":
-        return _cmd_instrument(args)
-    return 2  # pragma: no cover
+    commands = {
+        "list": lambda: _cmd_list(),
+        "profile": lambda: _cmd_profile(args),
+        "bypass": lambda: _cmd_bypass(args),
+        "ptx": lambda: _cmd_ptx(args),
+        "instrument": lambda: _cmd_instrument(args),
+    }
+    try:
+        return commands[args.command]()
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        # Tool-level failures (bad launch, corrupt trace under strict,
+        # failed validation) come out as one friendly line, never a
+        # traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

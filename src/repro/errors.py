@@ -56,12 +56,38 @@ class LaunchError(ReproError):
     """A kernel launch was misconfigured (grid/block shape, arguments)."""
 
 
+class LaunchDegradedError(LaunchError):
+    """Strict failure policy: a launch needed to degrade and may not.
+
+    Raised (instead of warning) when ``device.failure_policy ==
+    "strict"`` and a launch would have to drop a rung of the
+    degradation ladder (batched -> fork-parallel -> serial interpreter)
+    or recover from a shard fault. Carries the same machine-readable
+    ``reason`` code and ``context`` dict as
+    :class:`LaunchDegradedWarning`.
+    """
+
+    def __init__(self, message: str, reason: str = "", context: dict = None):
+        super().__init__(message)
+        self.reason = reason
+        self.context = dict(context or {})
+
+
 class MemoryError_(ReproError):
     """Device/host memory-system fault (OOB access, double free...)."""
 
 
 class ProfilerError(ReproError):
     """The profiler could not collect or attribute data."""
+
+
+class TraceCorruptionError(ProfilerError):
+    """A spilled trace segment failed its integrity check at drain time."""
+
+    def __init__(self, message: str, path: str = "", rows: int = 0):
+        super().__init__(message)
+        self.path = path
+        self.rows = rows
 
 
 class LaunchDegradedWarning(RuntimeWarning):
@@ -71,9 +97,22 @@ class LaunchDegradedWarning(RuntimeWarning):
     ``device.parallel_workers``, ``device.backend = "batched"`` -- cannot
     be honoured for this launch and execution silently degrading would
     hide the perf cliff: pc sampling forcing the serial interpreter,
-    platforms without ``fork``, or parallel shards whose CTAs wrote
-    overlapping memory. Results are unaffected; only speed is.
+    platforms without ``fork``, parallel shards whose CTAs wrote
+    overlapping memory, or shard workers that crashed or hung and were
+    re-executed serially. Results are unaffected; only speed is.
+
+    Structured: ``reason`` is a stable machine-readable code (see
+    :mod:`repro.reliability.supervisor`) and ``context`` a dict of
+    details (kernel, shard index, attempts, ...). ``str(w)`` stays the
+    human-readable message. The launch supervisor deduplicates these
+    per (reason, kernel) on each device, so a long profiling session
+    warns once instead of once per kernel instance.
     """
+
+    def __init__(self, message: str, reason: str = "", context: dict = None):
+        super().__init__(message)
+        self.reason = reason
+        self.context = dict(context or {})
 
 
 class AnalysisError(ReproError):

@@ -15,16 +15,16 @@ statistics (cycles, cache stats, divergence counts).
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
+import os
 import time
-import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ExecutionError, LaunchDegradedWarning, LaunchError
+from repro.errors import ExecutionError, LaunchError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40C
 from repro.gpu.backend_batched import run_sm_batched
 from repro.gpu.cache import CacheStats, MSHRFile, SetAssociativeCache
@@ -34,6 +34,21 @@ from repro.gpu.memory import Allocation, GlobalMemory, LocalMemory, SharedMemory
 from repro.gpu.simt import Warp, WarpStatus
 from repro.gpu.timing import SMTimingModel, TimingParams
 from repro.ir.cfg import immediate_post_dominators
+from repro.reliability.shards import (
+    CRASH,
+    TIMEOUT,
+    run_shards_supervised,
+)
+from repro.reliability.supervisor import (
+    FORK_UNAVAILABLE,
+    PC_SAMPLING_BATCHED,
+    PC_SAMPLING_PARALLEL,
+    SHARD_TIMEOUT,
+    SHARD_WORKER_CRASH,
+    SHARD_WORKER_ERROR,
+    SHARD_WRITE_CONFLICT,
+    LaunchSupervisor,
+)
 from repro.ir.instructions import Phi
 from repro.ir.module import BasicBlock, Function, Module
 from repro.ir.types import AddressSpace, FloatType, IntType, PointerType
@@ -264,20 +279,48 @@ class _NullHookRuntime:
 _SHARD_PAYLOAD: Optional[dict] = None
 
 
-def _run_shard(shard_index: int) -> dict:
+def _shard_entry(shard_index: int, attempt: int, conn) -> None:
+    """Worker-process entry: run one SM shard under supervision.
+
+    Streams ``("hb", t)`` heartbeats (one on start, one per finished
+    SM) and ends with ``("ok", result)`` or ``("err", detail)``.  The
+    device's fault injector can crash the worker before it reports in
+    (EOF on the pipe -> crash detection) or wedge it after the first
+    heartbeat (silence -> timeout detection).
+    """
     p = _SHARD_PAYLOAD
-    return p["device"]._execute_shard(
-        p["image"],
-        p["kernel_name"],
-        p["grid3"],
-        p["block3"],
-        p["bound_args"],
-        p["hooks"],
-        p["l1_warps_per_cta"],
-        p["warps_per_cta"],
-        p["shards"][shard_index],
-        p["base_mem"],
-    )
+    device = p["device"]
+    injector = device.fault_injector
+    if injector is not None and injector.fires(
+        "worker_crash", shard=shard_index, attempt=attempt
+    ):
+        os._exit(17)  # hard death: no traceback, no result, just EOF
+    conn.send(("hb", time.monotonic()))
+    if injector is not None and injector.fires(
+        "shard_hang", shard=shard_index, attempt=attempt
+    ):
+        while True:  # wedged: heartbeats stop, the timeout reaps us
+            time.sleep(0.5)
+    device._heartbeat = lambda: conn.send(("hb", time.monotonic()))
+    try:
+        result = device._execute_shard(
+            p["image"],
+            p["kernel_name"],
+            p["grid3"],
+            p["block3"],
+            p["bound_args"],
+            p["hooks"],
+            p["l1_warps_per_cta"],
+            p["warps_per_cta"],
+            p["shards"][shard_index],
+            p["base_mem"],
+        )
+    except BaseException as exc:  # noqa: BLE001 -- report, parent decides
+        conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    else:
+        conn.send(("ok", result))
+    finally:
+        conn.close()
 
 
 Dim = Union[int, Tuple[int, ...]]
@@ -323,6 +366,30 @@ class Device:
         #: kernels whose CTAs de-batched once; later CTAs skip the
         #: batched attempt (a speed heuristic, never a semantic one).
         self._debatched_kernels: set = set()
+        #: how launches react when they cannot run as requested:
+        #: "strict" raises LaunchDegradedError, "degrade" (default)
+        #: falls back with one warning per (reason, kernel), and
+        #: "best_effort" falls back silently. See docs/reliability.md.
+        self.failure_policy = "degrade"
+        #: seconds without a shard heartbeat before the worker is
+        #: killed and retried; None disables hang detection.
+        self.shard_timeout: Optional[float] = None
+        #: relaunch attempts for a faulted shard before the parent
+        #: re-executes it serially ("strict" never retries).
+        self.shard_max_retries = 2
+        #: base of the exponential backoff between shard relaunches.
+        self.shard_retry_backoff = 0.05
+        #: optional repro.reliability.FaultInjector for chaos testing.
+        self.fault_injector = None
+        self._heartbeat = None  # bound to the result pipe in workers
+        self._supervisor: Optional[LaunchSupervisor] = None
+
+    @property
+    def supervisor(self) -> LaunchSupervisor:
+        """The launch supervisor enforcing ``failure_policy`` (lazy)."""
+        if self._supervisor is None:
+            self._supervisor = LaunchSupervisor(self)
+        return self._supervisor
 
     # -- memory API (used by the host runtime) ---------------------------------
     def malloc(self, nbytes: int, tag: str = "") -> DevicePointer:
@@ -382,11 +449,12 @@ class Device:
             )
         backend = self.backend
         if backend == "batched" and pc_sampler is not None:
-            warnings.warn(
+            self.supervisor.degrade(
+                PC_SAMPLING_BATCHED,
+                kernel_name,
                 "pc sampling needs per-instruction stepping: this launch "
                 "falls back from the batched backend to the interpreter",
-                LaunchDegradedWarning,
-                stacklevel=2,
+                backend=backend,
             )
             backend = "interpreter"
         self._launch_backend = backend
@@ -415,17 +483,17 @@ class Device:
         )
 
         result = None
-        if self._parallel_eligible(hooks, pc_sampler, num_ctas):
+        if self._parallel_eligible(hooks, pc_sampler, num_ctas, kernel_name):
             result = self._launch_parallel(
                 image, kernel_name, grid3, block3, bound_args, hooks,
                 l1_warps_per_cta, warps_per_cta, num_ctas, start,
             )
             if result is None:
-                warnings.warn(
+                self.supervisor.degrade(
+                    SHARD_WRITE_CONFLICT,
+                    kernel_name,
                     "parallel launch fell back to serial: CTAs in "
                     "different shards wrote overlapping global memory",
-                    LaunchDegradedWarning,
-                    stacklevel=2,
                 )
         if result is None:
             sms = self._build_sms(
@@ -545,7 +613,9 @@ class Device:
         return result
 
     # -- parallel launch ----------------------------------------------------------
-    def _parallel_eligible(self, hooks, pc_sampler, num_ctas: int) -> bool:
+    def _parallel_eligible(
+        self, hooks, pc_sampler, num_ctas: int, kernel_name: str
+    ) -> bool:
         # Sampled launches (hooks.sample_rate > 1) ARE eligible: the
         # stride filter runs at drain time over the merged trace, so
         # sharding cannot change which events are kept.
@@ -553,19 +623,24 @@ class Device:
         if not workers or workers < 2 or num_ctas < 2:
             return False
         if pc_sampler is not None:
-            warnings.warn(
+            self.supervisor.degrade(
+                PC_SAMPLING_PARALLEL,
+                kernel_name,
                 "pc sampling keeps one global sample clock: this launch "
                 "runs serially despite device.parallel_workers",
-                LaunchDegradedWarning,
-                stacklevel=3,
+                stacklevel=4,
+                workers=workers,
             )
             return False
-        if "fork" not in multiprocessing.get_all_start_methods():
-            warnings.warn(
+        if ("fork" not in multiprocessing.get_all_start_methods()
+                or not hasattr(os, "fork")):
+            self.supervisor.degrade(
+                FORK_UNAVAILABLE,
+                kernel_name,
                 "this platform cannot fork worker processes: this launch "
                 "runs serially despite device.parallel_workers",
-                LaunchDegradedWarning,
-                stacklevel=3,
+                stacklevel=4,
+                workers=workers,
             )
             return False
         return True
@@ -583,7 +658,14 @@ class Device:
         num_ctas: int,
         start: float,
     ) -> Optional[LaunchResult]:
-        """Shard SMs across forked workers; None means fall back to serial."""
+        """Shard SMs across supervised forked workers.
+
+        Returns None to fall back to serial (cross-shard write
+        conflict).  Workers are supervised: a crashed or hung worker is
+        relaunched up to ``shard_max_retries`` times, and any shard
+        still failed after that is re-executed serially in the parent,
+        so the merged trace stays byte-identical to a clean run.
+        """
         global _SHARD_PAYLOAD
         num_sms = self.arch.num_sms
         workers = min(self.parallel_workers, num_sms)
@@ -609,14 +691,43 @@ class Device:
             "shards": shards,
             "base_mem": base_mem,
         }
+        # Strict never retries: the first fault must surface as-is.
+        strict = self.supervisor.policy == "strict"
         try:
             ctx = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=len(shards), mp_context=ctx
-            ) as pool:
-                shard_results = list(pool.map(_run_shard, range(len(shards))))
+            outcomes = run_shards_supervised(
+                ctx,
+                _shard_entry,
+                range(len(shards)),
+                timeout=self.shard_timeout,
+                max_attempts=1 if strict else self.shard_max_retries + 1,
+                backoff=self.shard_retry_backoff,
+            )
         finally:
             _SHARD_PAYLOAD = None
+
+        shard_results = []
+        fault_reasons = {CRASH: SHARD_WORKER_CRASH, TIMEOUT: SHARD_TIMEOUT}
+        for index in sorted(outcomes):
+            outcome = outcomes[index]
+            if outcome.failed:
+                kind = outcome.faults[-1] if outcome.faults else "error"
+                reason = fault_reasons.get(kind, SHARD_WORKER_ERROR)
+                detail = f" ({outcome.detail})" if outcome.detail != kind else ""
+                self.supervisor.degrade(
+                    reason,
+                    kernel_name,
+                    f"shard {index} {kind} after {outcome.attempts} "
+                    f"attempt(s){detail}: re-executing it serially",
+                    shard=index,
+                    attempts=outcome.attempts,
+                    faults=list(outcome.faults),
+                )
+                outcome.result = self._rerun_shard_in_parent(
+                    image, kernel_name, grid3, block3, bound_args, hooks,
+                    l1_warps_per_cta, warps_per_cta, shards[index], base_mem,
+                )
+            shard_results.append(outcome.result)
 
         # CTAs in different shards wrote overlapping bytes: the merge
         # cannot reproduce the serial interleaving, so rerun serially
@@ -649,6 +760,38 @@ class Device:
             hooks.absorb_shards(states)
         return result
 
+    def _rerun_shard_in_parent(
+        self,
+        image: DeviceModuleImage,
+        kernel_name: str,
+        grid3: Tuple[int, int, int],
+        block3: Tuple[int, int, int],
+        bound_args: List[object],
+        hooks,
+        l1_warps_per_cta: Optional[int],
+        warps_per_cta: int,
+        sm_indices: Sequence[int],
+        base_mem: np.ndarray,
+    ) -> dict:
+        """Serially re-execute one permanently failed shard, in-process.
+
+        A shallow copy of the hook runtime gets fresh shard buffers
+        (``reset_for_shard``), and parent memory is restored to the
+        pre-launch snapshot afterwards, so the recovered result is
+        indistinguishable from a clean worker's and the usual dirty-byte
+        merge still applies.
+        """
+        shard_hooks = hooks
+        if hasattr(hooks, "reset_for_shard"):
+            shard_hooks = copy.copy(hooks)
+        try:
+            return self._execute_shard(
+                image, kernel_name, grid3, block3, bound_args, shard_hooks,
+                l1_warps_per_cta, warps_per_cta, sm_indices, base_mem,
+            )
+        finally:
+            self.memory._buf[:] = base_mem
+
     def _execute_shard(
         self,
         image: DeviceModuleImage,
@@ -662,8 +805,8 @@ class Device:
         sm_indices: Sequence[int],
         base_mem: np.ndarray,
     ) -> dict:
-        """Run one shard of SMs inside a forked worker process."""
-        # A pool worker can run several shards; each starts from the
+        """Run one shard of SMs (in a forked worker, or in-parent rerun)."""
+        # A worker can run several shards; each starts from the
         # pre-launch memory state captured at fork time.
         self.memory._buf[:] = base_mem
         if hasattr(hooks, "reset_for_shard"):
@@ -677,6 +820,8 @@ class Device:
             steps += self._run_sm_any(
                 sms[index], image, total_budget=self.max_steps
             )
+            if self._heartbeat is not None:
+                self._heartbeat()
         dirty = np.flatnonzero(self.memory._buf != base_mem).astype(np.int64)
         branches = divergent = 0
         for sm in sms.values():

@@ -153,6 +153,27 @@ class AdvisorReport:
                 "cycle_overhead": self.overhead.cycle_overhead,
                 "instruction_overhead": self.overhead.instruction_overhead,
             }
+        dropped = sum(p.dropped_records for p in self.session.profiles)
+        spilled = sum(p.spilled_records for p in self.session.profiles)
+        corrupt = sum(p.corrupt_records for p in self.session.profiles)
+        if dropped or spilled or corrupt:
+            out["trace_buffers"] = {
+                "dropped_records": dropped,
+                "spilled_records": spilled,
+                "corrupt_records": corrupt,
+            }
+        supervisor = getattr(
+            getattr(self.session.runtime, "device", None), "_supervisor", None
+        )
+        if supervisor is not None and supervisor.events:
+            out["degradations"] = [
+                {
+                    "reason": e.reason,
+                    "kernel": e.kernel,
+                    "message": e.message,
+                }
+                for e in supervisor.events
+            ]
         return out
 
     def advice(self) -> List[str]:
@@ -214,12 +235,26 @@ class CUDAAdvisor:
         optimize: bool = True,
         measure_overhead: bool = True,
         buffer_capacity: Optional[int] = None,
+        sample_rate: int = 1,
+        backend: Optional[str] = None,
+        parallel_workers: Optional[int] = None,
+        failure_policy: Optional[str] = None,
+        spill_dir: Optional[str] = None,
+        spill_rows: int = 65536,
     ):
         self.arch = arch
         self.modes = tuple(modes)
         self.optimize = optimize
         self.measure_overhead = measure_overhead
         self.buffer_capacity = buffer_capacity
+        self.sample_rate = sample_rate
+        #: execution knobs forwarded to every Device this advisor builds
+        #: (None keeps the device default; see docs/reliability.md).
+        self.backend = backend
+        self.parallel_workers = parallel_workers
+        self.failure_policy = failure_policy
+        self.spill_dir = spill_dir
+        self.spill_rows = spill_rows
 
     # -- compilation helpers ---------------------------------------------------
     def _compile(self, program: GPUProgram, instrument: bool,
@@ -235,6 +270,12 @@ class CUDAAdvisor:
 
     def _fresh_runtime(self, profiler=None):
         device = Device(self.arch)
+        if self.backend is not None:
+            device.backend = self.backend
+        if self.parallel_workers is not None:
+            device.parallel_workers = self.parallel_workers
+        if self.failure_policy is not None:
+            device.failure_policy = self.failure_policy
         return CudaRuntime(device, profiler=profiler)
 
     # -- main entry points ----------------------------------------------------------
@@ -254,7 +295,12 @@ class CUDAAdvisor:
                 )
 
         # Instrumented run.
-        session = ProfilingSession(buffer_capacity=self.buffer_capacity)
+        session = ProfilingSession(
+            buffer_capacity=self.buffer_capacity,
+            sample_rate=self.sample_rate,
+            spill_dir=self.spill_dir,
+            spill_rows=self.spill_rows,
+        )
         rt = self._fresh_runtime(profiler=session)
         module = self._compile(program, instrument=True)
         image = rt.device.load_module(module)

@@ -18,6 +18,16 @@ host. Two implementations model that:
   consume vectorized; each view still behaves as a sequence of the
   classic record dataclasses (materialized lazily per index) for
   compatibility.
+
+Columnar buffers are **spill-safe**: with a
+:class:`~repro.reliability.spill.SpillConfig` attached, a buffer that
+reaches ``segment_rows`` in-memory rows writes the segment to disk
+(checksummed; see :mod:`repro.reliability.spill`) and keeps appending;
+``drain()`` reads the segments back in order and concatenates them with
+the in-memory tail, so the drained stream is byte-identical to an
+all-in-memory run. ``capacity`` counts *total* retained rows (memory +
+disk); ``spilled`` / ``corrupt_dropped`` expose the accounting that
+``analysis/report.py`` surfaces.
 """
 
 from __future__ import annotations
@@ -26,11 +36,18 @@ from typing import Generic, List, Optional, TypeVar
 
 import numpy as np
 
+from repro.errors import TraceCorruptionError
 from repro.profiler.records import (
     ArithRecord,
     BlockRecord,
     MemoryAccessRecord,
     MemoryOp,
+)
+from repro.reliability.spill import (
+    SpillConfig,
+    discard_segment,
+    read_segment,
+    write_segment,
 )
 
 T = TypeVar("T")
@@ -69,17 +86,29 @@ _INITIAL_ROWS = 1024
 
 
 class _ColumnarBase:
-    """Shared capacity/drop bookkeeping and chunked growth."""
+    """Shared capacity/drop bookkeeping, chunked growth, disk spill."""
 
-    def __init__(self, capacity: Optional[int] = None):
+    #: spill-segment file prefix; overridden per concrete buffer.
+    _KIND = "columnar"
+
+    def __init__(self, capacity: Optional[int] = None,
+                 spill: Optional[SpillConfig] = None):
         self.capacity = capacity
+        self.spill = spill
         self.dropped = 0
         self.total_appended = 0
+        #: rows written to disk segments over this buffer's lifetime.
+        self.spilled = 0
+        #: rows lost to corrupted spill segments (on_corrupt="drop").
+        self.corrupt_dropped = 0
         self._n = 0
         self._alloc = 0
+        self._spilled_rows = 0  # rows currently on disk (pre-drain)
+        self._segments: List[str] = []
+        self._segment_index = 0
 
     def __len__(self) -> int:
-        return self._n
+        return self._n + self._spilled_rows
 
     def _next_alloc(self) -> int:
         new = self._alloc * 2 if self._alloc else _INITIAL_ROWS
@@ -90,7 +119,7 @@ class _ColumnarBase:
     def _admit(self) -> bool:
         """Count the append; False (and a drop) when the buffer is full."""
         self.total_appended += 1
-        if self.capacity is not None and self._n >= self.capacity:
+        if self.capacity is not None and len(self) >= self.capacity:
             self.dropped += 1
             return False
         return True
@@ -100,9 +129,66 @@ class _ColumnarBase:
         self.total_appended += n
         admit = n
         if self.capacity is not None:
-            admit = max(0, min(n, self.capacity - self._n))
+            admit = max(0, min(n, self.capacity - len(self)))
         self.dropped += n - admit
         return admit
+
+    # -- disk spill ---------------------------------------------------------
+    def _spill_payload(self):
+        """The in-memory rows as a pickleable payload (per buffer kind)."""
+        raise NotImplementedError
+
+    def _reset_memory(self) -> None:
+        """Clear the in-memory segment after a spill (per buffer kind)."""
+        raise NotImplementedError
+
+    def _maybe_spill(self) -> None:
+        if (
+            self.spill is not None
+            and self._n >= self.spill.segment_rows
+        ):
+            self._spill_segment()
+
+    def _spill_segment(self) -> None:
+        rows = self._n
+        if not rows:
+            return
+        path = write_segment(
+            self.spill, self._KIND, self._segment_index,
+            self._spill_payload(), rows,
+        )
+        self._segment_index += 1
+        self._segments.append(path)
+        self._spilled_rows += rows
+        self.spilled += rows
+        self._reset_memory()
+        self._n = 0
+        self._alloc = 0
+
+    def _read_segments(self) -> List[object]:
+        """Load all spilled payloads in write order; handles corruption.
+
+        ``on_corrupt="raise"`` propagates
+        :class:`~repro.errors.TraceCorruptionError`; ``"drop"`` counts
+        the segment's rows (known from the clear-text header) as
+        dropped and skips it.
+        """
+        payloads: List[object] = []
+        try:
+            for path in self._segments:
+                try:
+                    payloads.append(read_segment(path))
+                except TraceCorruptionError as exc:
+                    if self.spill is None or self.spill.on_corrupt == "raise":
+                        raise
+                    self.corrupt_dropped += exc.rows
+                    self.dropped += exc.rows
+        finally:
+            for path in self._segments:
+                discard_segment(path)
+            self._segments = []
+            self._spilled_rows = 0
+        return payloads
 
 
 class MemoryColumns:
@@ -166,10 +252,19 @@ class MemoryColumns:
 class ColumnarMemoryBuffer(_ColumnarBase):
     """SoA append buffer for instrumented memory accesses."""
 
-    def __init__(self, capacity: Optional[int] = None):
-        super().__init__(capacity)
+    _KIND = "memory"
+
+    def __init__(self, capacity: Optional[int] = None,
+                 spill: Optional[SpillConfig] = None):
+        super().__init__(capacity, spill)
         self._cols: Optional[tuple] = None
         self._warp_size = 0
+
+    def _spill_payload(self):
+        return tuple(col[: self._n] for col in self._cols)
+
+    def _reset_memory(self) -> None:
+        self._cols = None
 
     def _grow(self, warp_size: int) -> None:
         new = self._next_alloc()
@@ -216,6 +311,7 @@ class ColumnarMemoryBuffer(_ColumnarBase):
         c[8][n] = addrs
         c[9][n] = mask
         self._n = n + 1
+        self._maybe_spill()
         return True
 
     def extend(self, cols: MemoryColumns) -> int:
@@ -234,11 +330,15 @@ class ColumnarMemoryBuffer(_ColumnarBase):
         for dst, src in zip(self._cols, data):
             dst[lo:hi] = src[:admit]
         self._n = hi
+        self._maybe_spill()
         return admit
 
     def drain(self) -> MemoryColumns:
+        parts = [tuple(p) for p in self._read_segments()]
         n = self._n
-        if self._cols is None:
+        if self._cols is not None and n:
+            parts.append(tuple(col[:n] for col in self._cols))
+        if not parts:
             empty = MemoryColumns(
                 *(np.zeros(0, d) for d in (np.int64, np.int32, np.int32,
                                            np.int32, np.int32, np.int32,
@@ -246,8 +346,18 @@ class ColumnarMemoryBuffer(_ColumnarBase):
                 np.zeros((0, self._warp_size or 1), np.int64),
                 np.zeros((0, self._warp_size or 1), bool),
             )
+            self._cols = None
+            self._n = 0
+            self._alloc = 0
             return empty
-        view = MemoryColumns(*(col[:n] for col in self._cols))
+        if len(parts) == 1:
+            fields = parts[0]
+        else:
+            fields = tuple(
+                np.concatenate([part[i] for part in parts])
+                for i in range(10)
+            )
+        view = MemoryColumns(*fields)
         self._cols = None
         self._n = 0
         self._alloc = 0
@@ -305,10 +415,23 @@ class BlockColumns:
 class ColumnarBlockBuffer(_ColumnarBase):
     """SoA append buffer for instrumented basic-block events."""
 
-    def __init__(self, capacity: Optional[int] = None):
-        super().__init__(capacity)
+    _KIND = "block"
+
+    def __init__(self, capacity: Optional[int] = None,
+                 spill: Optional[SpillConfig] = None):
+        super().__init__(capacity, spill)
         self._cols: Optional[tuple] = None
         self._names: List[str] = []
+
+    def _spill_payload(self):
+        return (
+            tuple(col[: self._n] for col in self._cols),
+            list(self._names),
+        )
+
+    def _reset_memory(self) -> None:
+        self._cols = None
+        self._names = []
 
     def _grow(self) -> None:
         new = self._next_alloc()
@@ -344,6 +467,7 @@ class ColumnarBlockBuffer(_ColumnarBase):
         c[7][n] = call_path_id
         self._names.append(name)
         self._n = n + 1
+        self._maybe_spill()
         return True
 
     def extend(self, cols: BlockColumns) -> int:
@@ -360,17 +484,31 @@ class ColumnarBlockBuffer(_ColumnarBase):
             dst[lo:hi] = src[:admit]
         self._names.extend(cols.block_names[:admit])
         self._n = hi
+        self._maybe_spill()
         return admit
 
     def drain(self) -> BlockColumns:
+        parts = list(self._read_segments())
         n = self._n
-        if self._cols is None:
+        if self._cols is not None and n:
+            parts.append(
+                (tuple(col[:n] for col in self._cols), self._names)
+            )
+        if not parts:
             cols = [np.zeros(0, np.int64 if i in (0, 7) else np.int32)
                     for i in range(8)]
+            names: List[str] = []
+        elif len(parts) == 1:
+            cols = list(parts[0][0])
+            names = list(parts[0][1])
         else:
-            cols = [col[:n] for col in self._cols]
+            cols = [
+                np.concatenate([part[0][i] for part in parts])
+                for i in range(8)
+            ]
+            names = [name for part in parts for name in part[1]]
         view = BlockColumns(cols[0], cols[1], cols[2], cols[3], cols[4],
-                            cols[5], cols[6], cols[7], self._names)
+                            cols[5], cols[6], cols[7], names)
         self._cols = None
         self._names = []
         self._n = 0
@@ -441,10 +579,23 @@ class ArithColumns:
 class ColumnarArithBuffer(_ColumnarBase):
     """SoA append buffer for instrumented arithmetic events."""
 
-    def __init__(self, capacity: Optional[int] = None):
-        super().__init__(capacity)
+    _KIND = "arith"
+
+    def __init__(self, capacity: Optional[int] = None,
+                 spill: Optional[SpillConfig] = None):
+        super().__init__(capacity, spill)
         self._cols: Optional[tuple] = None
         self._opcodes: List[str] = []
+
+    def _spill_payload(self):
+        return (
+            tuple(col[: self._n] for col in self._cols),
+            list(self._opcodes),
+        )
+
+    def _reset_memory(self) -> None:
+        self._cols = None
+        self._opcodes = []
 
     def _grow(self) -> None:
         new = self._next_alloc()
@@ -488,6 +639,7 @@ class ColumnarArithBuffer(_ColumnarBase):
         c[8][n] = call_path_id
         self._opcodes.append(opcode)
         self._n = n + 1
+        self._maybe_spill()
         return True
 
     def extend(self, cols: ArithColumns) -> int:
@@ -505,19 +657,33 @@ class ColumnarArithBuffer(_ColumnarBase):
             dst[lo:hi] = src[:admit]
         self._opcodes.extend(cols.opcodes[:admit])
         self._n = hi
+        self._maybe_spill()
         return admit
 
     def drain(self) -> ArithColumns:
+        parts = list(self._read_segments())
         n = self._n
-        if self._cols is None:
+        if self._cols is not None and n:
+            parts.append(
+                (tuple(col[:n] for col in self._cols), self._opcodes)
+            )
+        if not parts:
             cols = [np.zeros(0, d) for d in (
                 np.int64, np.int32, np.int32, np.int32, bool,
                 np.int32, np.int32, np.int32, np.int64)]
+            opcodes: List[str] = []
+        elif len(parts) == 1:
+            cols = list(parts[0][0])
+            opcodes = list(parts[0][1])
         else:
-            cols = [col[:n] for col in self._cols]
+            cols = [
+                np.concatenate([part[0][i] for part in parts])
+                for i in range(9)
+            ]
+            opcodes = [op for part in parts for op in part[1]]
         view = ArithColumns(cols[0], cols[1], cols[2], cols[3], cols[4],
                             cols[5], cols[6], cols[7], cols[8],
-                            self._opcodes)
+                            opcodes)
         self._cols = None
         self._opcodes = []
         self._n = 0

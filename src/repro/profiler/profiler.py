@@ -23,6 +23,8 @@ from repro.profiler.buffers import (
     clip_to_capacity,
     stride_sample,
 )
+from repro.reliability.spill import SpillConfig
+from repro.reliability.supervisor import TRACE_SEGMENT_CORRUPT
 from repro.profiler.codecentric import CallPathRegistry, GPUPathEntry
 from repro.profiler.records import (
     ArithRecord,
@@ -53,6 +55,11 @@ class KernelProfile:
     functions_by_id: list
     dropped_records: int
     launch_result: object = None  # LaunchResult, attached at kernel_end
+    #: rows that overflowed to disk spill segments during the launch
+    #: (lossless; see docs/reliability.md) and rows lost to corrupted
+    #: segments (already included in ``dropped_records``).
+    spilled_records: int = 0
+    corrupt_records: int = 0
 
     # -- convenience -----------------------------------------------------------
     def memory_records_by_cta(self) -> Dict[int, List[MemoryAccessRecord]]:
@@ -74,6 +81,7 @@ class HookRuntime:
         launch_site: str,
         buffer_capacity: Optional[int] = None,
         sample_rate: int = 1,
+        spill: Optional[SpillConfig] = None,
     ):
         if sample_rate < 1:
             raise ProfilerError("sample_rate must be >= 1")
@@ -92,10 +100,30 @@ class HookRuntime:
         self.sample_rate = sample_rate
         self._capacity = buffer_capacity
 
+        # -- reliability wiring (docs/reliability.md) ---------------------
+        # The device's failure policy picks the drain-time behaviour for
+        # corrupted spill segments, and its fault injector can force a
+        # tiny spill-segment size (the buffer_overflow injection point)
+        # so overflow handling is exercised without a huge trace.
+        device = getattr(image, "device", None)
+        policy = getattr(device, "failure_policy", "degrade")
+        injector = getattr(device, "fault_injector", None)
+        if injector is not None:
+            params = injector.fire("buffer_overflow", kernel=kernel)
+            if params is not None:
+                spill = SpillConfig(
+                    directory=spill.directory if spill else None,
+                    segment_rows=int(params.get("segment_rows", 256)),
+                )
+        if spill is not None:
+            spill.on_corrupt = "raise" if policy == "strict" else "drop"
+            spill.injector = injector
+        self._spill = spill
+
         event_capacity = buffer_capacity if sample_rate == 1 else None
-        self.memory_buffer = ColumnarMemoryBuffer(event_capacity)
-        self.block_buffer = ColumnarBlockBuffer(buffer_capacity)
-        self.arith_buffer = ColumnarArithBuffer(event_capacity)
+        self.memory_buffer = ColumnarMemoryBuffer(event_capacity, spill)
+        self.block_buffer = ColumnarBlockBuffer(buffer_capacity, spill)
+        self.arith_buffer = ColumnarArithBuffer(event_capacity, spill)
         self.call_paths = CallPathRegistry()
 
         self._seq = 0
@@ -134,6 +162,7 @@ class HookRuntime:
         info = self._launch_info or {}
         memory = self.memory_buffer.drain()
         arith = self.arith_buffer.drain()
+        block = self.block_buffer.drain()
         clipped = 0
         if self.sample_rate > 1:
             memory, arith = stride_sample(memory, arith, self.sample_rate)
@@ -141,6 +170,10 @@ class HookRuntime:
             clipped += n
             arith, n = clip_to_capacity(arith, self._capacity)
             clipped += n
+        buffers = (self.memory_buffer, self.block_buffer, self.arith_buffer)
+        corrupt = sum(b.corrupt_dropped for b in buffers)
+        if corrupt:
+            self._report_corruption(corrupt)
         self.profile = KernelProfile(
             kernel=self.kernel,
             host_call_path=self.host_call_path,
@@ -150,7 +183,7 @@ class HookRuntime:
             num_ctas=info.get("num_ctas", 0),
             warps_per_cta=info.get("warps_per_cta", 0),
             memory_records=memory,
-            block_records=self.block_buffer.drain(),
+            block_records=block,
             arith_records=arith,
             call_paths=self.call_paths,
             functions_by_id=self.image.functions_by_id,
@@ -161,9 +194,25 @@ class HookRuntime:
                 + clipped
             ),
             launch_result=launch_result,
+            spilled_records=sum(b.spilled for b in buffers),
+            corrupt_records=corrupt,
         )
         if self.on_complete is not None:
             self.on_complete(self.profile)
+
+    def _report_corruption(self, rows: int) -> None:
+        """Surface dropped-corrupt-segment rows through the supervisor."""
+        device = getattr(self.image, "device", None)
+        supervisor = getattr(device, "supervisor", None)
+        if supervisor is not None:
+            supervisor.degrade(
+                TRACE_SEGMENT_CORRUPT,
+                self.kernel,
+                f"{rows} trace rows lost to corrupted spill segments "
+                f"for kernel {self.kernel!r}; analyses run on the "
+                f"surviving rows",
+                rows=rows,
+            )
 
     # -- parallel-launch sharding -------------------------------------------------------
     def reset_for_shard(self) -> None:
@@ -171,11 +220,12 @@ class HookRuntime:
 
         Shard buffers are uncapped: the parent enforces the global
         capacity when it absorbs the shards in SM order, so the drop set
-        matches a serial run exactly.
+        matches a serial run exactly. Spill stays active (a shard's
+        segments are written and drained inside the worker).
         """
-        self.memory_buffer = ColumnarMemoryBuffer(None)
-        self.block_buffer = ColumnarBlockBuffer(None)
-        self.arith_buffer = ColumnarArithBuffer(None)
+        self.memory_buffer = ColumnarMemoryBuffer(None, self._spill)
+        self.block_buffer = ColumnarBlockBuffer(None, self._spill)
+        self.arith_buffer = ColumnarArithBuffer(None, self._spill)
         self.call_paths = CallPathRegistry()
         self._seq = 0
         self._warp_stacks = {}

@@ -17,15 +17,31 @@ from repro.host.runtime import DeviceAllocationRecord, MemcpyRecord
 from repro.host.shadow_stack import HostFrame
 from repro.profiler.datacentric import DataCentricMap
 from repro.profiler.profiler import HookRuntime, KernelProfile
+from repro.reliability.spill import SpillConfig
 
 
 class ProfilingSession:
-    """Collects profiles and interposition records for one program run."""
+    """Collects profiles and interposition records for one program run.
+
+    ``spill_dir``/``spill_rows`` arm disk spill on the per-launch trace
+    buffers: whenever a columnar buffer holds ``spill_rows`` rows they
+    are written to a checksummed segment under ``spill_dir`` and read
+    back transparently at kernel exit, so arbitrarily long launches
+    never exhaust memory (see ``docs/reliability.md``). A prebuilt
+    :class:`~repro.reliability.spill.SpillConfig` can be passed as
+    ``spill`` instead.
+    """
 
     def __init__(self, buffer_capacity: Optional[int] = None,
-                 sample_rate: int = 1):
+                 sample_rate: int = 1,
+                 spill_dir: Optional[str] = None,
+                 spill_rows: int = 65536,
+                 spill: Optional[SpillConfig] = None):
         self.buffer_capacity = buffer_capacity
         self.sample_rate = sample_rate
+        if spill is None and spill_dir is not None:
+            spill = SpillConfig(directory=spill_dir, segment_rows=spill_rows)
+        self.spill = spill
         self.profiles: List[KernelProfile] = []
         self.host_buffers: List[HostBuffer] = []
         self.device_allocations: List[DeviceAllocationRecord] = []
@@ -59,6 +75,7 @@ class ProfilingSession:
             launch_site,
             buffer_capacity=self.buffer_capacity,
             sample_rate=self.sample_rate,
+            spill=self.spill,
         )
         hooks.on_complete = self.profiles.append
         return hooks

@@ -1,0 +1,146 @@
+"""Supervised execution of fork-parallel shard workers.
+
+One forked worker process runs per SM shard.  Instead of a bare
+process pool (where one crashed worker poisons every future and a hung
+worker wedges the launch forever), :func:`run_shards_supervised` gives
+each worker its own result pipe and supervises the fleet:
+
+* **heartbeats** -- a worker sends a heartbeat when it starts and after
+  every SM it finishes; the hang deadline (``timeout`` seconds) is
+  measured from the *last* heartbeat, so a long but progressing shard
+  is never reaped while a stuck one is.
+* **crash detection** -- a worker that dies without delivering a result
+  (signal, ``os._exit``, OOM-kill) is detected by EOF on its pipe.
+* **bounded retry with backoff** -- a faulted shard is relaunched up to
+  ``max_attempts`` times total, waiting ``backoff * 2**(attempt-1)``
+  seconds before each relaunch; retries overlap with still-running
+  shards (the scheduler never blocks on a backoff sleep).
+
+The returned outcomes preserve shard identity, so the caller merges
+results in shard-index order -- the deterministic re-merge that keeps
+a supervised launch byte-identical to a clean serial run.  Shards whose
+retries are exhausted come back ``result=None`` with their fault
+history; the device re-executes exactly those shards serially.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+#: fault kinds recorded per attempt
+CRASH = "crash"
+TIMEOUT = "timeout"
+ERROR = "error"
+
+
+@dataclass
+class ShardOutcome:
+    """Everything the supervisor learned about one shard."""
+
+    index: int
+    result: Optional[dict] = None
+    attempts: int = 0
+    #: fault kind per failed attempt (CRASH / TIMEOUT / ERROR), in order
+    faults: List[str] = field(default_factory=list)
+    #: detail string of the last fault (e.g. the worker's exception)
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.result is None
+
+    @property
+    def recovered(self) -> bool:
+        return self.result is not None and bool(self.faults)
+
+
+class _Live:
+    """Bookkeeping for one running worker process."""
+
+    __slots__ = ("proc", "conn", "index", "last_beat")
+
+    def __init__(self, proc, conn, index: int, now: float):
+        self.proc = proc
+        self.conn = conn
+        self.index = index
+        self.last_beat = now
+
+
+def run_shards_supervised(
+    ctx,
+    entry: Callable,
+    indices: Sequence[int],
+    timeout: Optional[float] = None,
+    max_attempts: int = 1,
+    backoff: float = 0.05,
+    poll: float = 0.02,
+) -> Dict[int, ShardOutcome]:
+    """Run ``entry(index, attempt, conn)`` in one forked process per shard.
+
+    ``entry`` must send ``("hb", t)`` heartbeats and finally either
+    ``("ok", result_dict)`` or ``("err", detail_str)`` on ``conn``.
+    Returns a :class:`ShardOutcome` per index.
+    """
+    outcomes = {i: ShardOutcome(index=i) for i in indices}
+    live: Dict[object, _Live] = {}  # reader conn -> _Live
+    backlog: List[List[float]] = [[0.0, i] for i in indices]  # [ready, idx]
+
+    def _launch(index: int) -> None:
+        reader, writer = ctx.Pipe(duplex=False)
+        attempt = outcomes[index].attempts
+        proc = ctx.Process(target=entry, args=(index, attempt, writer))
+        proc.start()
+        writer.close()  # parent's copy; EOF detection needs it closed
+        outcomes[index].attempts += 1
+        live[reader] = _Live(proc, reader, index, time.monotonic())
+
+    def _fail(lv: _Live, kind: str, detail: str = "") -> None:
+        out = outcomes[lv.index]
+        out.faults.append(kind)
+        out.detail = detail or kind
+        lv.conn.close()
+        del live[lv.conn]
+        if lv.proc.is_alive():
+            lv.proc.kill()
+        lv.proc.join()
+        if out.attempts < max_attempts:
+            delay = backoff * (2 ** (out.attempts - 1))
+            backlog.append([time.monotonic() + delay, lv.index])
+
+    while backlog or live:
+        now = time.monotonic()
+        for item in list(backlog):
+            if item[0] <= now:
+                backlog.remove(item)
+                _launch(item[1])
+        if not live:
+            if backlog:
+                time.sleep(max(0.0, min(i[0] for i in backlog) - now))
+            continue
+        for conn in _connection_wait(list(live), timeout=poll):
+            lv = live.get(conn)
+            if lv is None:
+                continue
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError):
+                _fail(lv, CRASH)
+                continue
+            if kind == "hb":
+                lv.last_beat = time.monotonic()
+            elif kind == "err":
+                _fail(lv, ERROR, detail=str(payload))
+            else:  # "ok"
+                outcomes[lv.index].result = payload
+                conn.close()
+                del live[conn]
+                lv.proc.join()
+        if timeout is not None:
+            now = time.monotonic()
+            for lv in list(live.values()):
+                if now - lv.last_beat > timeout:
+                    _fail(lv, TIMEOUT)
+    return outcomes

@@ -1,0 +1,142 @@
+"""Spill-segment storage for the columnar trace buffers.
+
+The paper keeps the whole trace in a device-global buffer and copies it
+out at kernel exit; a long whole-program profiling run can outgrow any
+in-memory buffer.  When a :class:`SpillConfig` is attached, a columnar
+buffer that reaches ``segment_rows`` rows writes the full segment to
+disk and keeps appending into a fresh in-memory segment; ``drain()``
+reads the segments back in order and concatenates them with the
+in-memory tail, so consumers see a stream byte-identical to an
+all-in-memory run (pinned by ``tests/test_spill_equivalence.py``).
+
+Each segment file is self-checking: a fixed header records the payload
+length, the row count and a CRC32, so a truncated or corrupted segment
+is detected at drain time (``on_corrupt`` decides whether that raises
+:class:`~repro.errors.TraceCorruptionError` or drops the segment with
+accounting -- the row count lives in the clear in the header, so even a
+dropped segment reports exactly how many rows were lost).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+import uuid
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import TraceCorruptionError
+
+#: Segment header: magic, payload bytes, row count, CRC32 of payload.
+_MAGIC = b"RSPL"
+_HEADER = struct.Struct("<4sQQI")
+
+
+@dataclass
+class SpillConfig:
+    """How (and when) a columnar buffer spills segments to disk.
+
+    ``directory=None`` resolves lazily to a fresh temp directory the
+    first time a segment is written.  ``on_corrupt`` selects the
+    drain-time behaviour for a failed integrity check: ``"raise"``
+    (strict) or ``"drop"`` (count the rows as dropped and continue).
+    ``injector`` threads the device's fault injector through to the
+    ``corrupt_spill`` injection point.
+    """
+
+    directory: Optional[str] = None
+    segment_rows: int = 65536
+    on_corrupt: str = "raise"
+    injector: object = None
+    _resolved_dir: Optional[str] = field(default=None, repr=False)
+
+    def resolve_dir(self) -> str:
+        if self._resolved_dir is None:
+            if self.directory is not None:
+                os.makedirs(self.directory, exist_ok=True)
+                self._resolved_dir = self.directory
+            else:
+                self._resolved_dir = tempfile.mkdtemp(prefix="repro-spill-")
+        return self._resolved_dir
+
+
+def write_segment(config: SpillConfig, kind: str, index: int,
+                  payload: dict, rows: int) -> str:
+    """Serialize one segment; returns its path.
+
+    Filenames embed the pid and a random suffix so parallel shard
+    workers spilling into a shared directory can never collide.
+    """
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _HEADER.pack(_MAGIC, len(data), rows, zlib.crc32(data))
+    path = os.path.join(
+        config.resolve_dir(),
+        f"{kind}-{index:06d}-{os.getpid()}-{uuid.uuid4().hex[:8]}.seg",
+    )
+    with open(path, "wb") as f:
+        f.write(header)
+        f.write(data)
+    if config.injector is not None:
+        params = config.injector.fire("corrupt_spill", kind=kind,
+                                      segment=index)
+        if params is not None:
+            _corrupt_file(path, int(params.get("offset", 64)))
+    return path
+
+
+def _corrupt_file(path: str, offset: int) -> None:
+    """Flip a byte of the payload in place (the corrupt_spill fault)."""
+    with open(path, "r+b") as f:
+        f.seek(0, os.SEEK_END)
+        size = f.tell()
+        pos = min(_HEADER.size + max(0, offset), size - 1)
+        f.seek(pos)
+        byte = f.read(1)
+        f.seek(pos)
+        f.write(bytes([byte[0] ^ 0xFF]))
+
+
+def read_segment(path: str) -> dict:
+    """Load and verify one segment; raises TraceCorruptionError.
+
+    The error carries the row count from the clear-text header (0 when
+    even the header is unreadable) so callers can account for exactly
+    how many rows a dropped segment lost.
+    """
+    try:
+        with open(path, "rb") as f:
+            head = f.read(_HEADER.size)
+            if len(head) < _HEADER.size:
+                raise TraceCorruptionError(
+                    f"spill segment {path} is truncated (no header)",
+                    path=path, rows=0,
+                )
+            magic, length, rows, crc = _HEADER.unpack(head)
+            if magic != _MAGIC:
+                raise TraceCorruptionError(
+                    f"spill segment {path} has a bad magic number",
+                    path=path, rows=0,
+                )
+            data = f.read(length)
+    except OSError as exc:
+        raise TraceCorruptionError(
+            f"spill segment {path} is unreadable: {exc}", path=path, rows=0
+        ) from exc
+    if len(data) != length or zlib.crc32(data) != crc:
+        raise TraceCorruptionError(
+            f"spill segment {path} failed its integrity check "
+            f"({rows} rows lost)",
+            path=path, rows=rows,
+        )
+    return pickle.loads(data)
+
+
+def discard_segment(path: str) -> None:
+    """Best-effort removal of a drained (or abandoned) segment file."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

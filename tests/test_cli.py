@@ -1,7 +1,5 @@
 """Tests for the CLI (the artifact's run/showoutput workflow)."""
 
-import pytest
-
 from repro.cli import main
 
 
@@ -33,9 +31,50 @@ class TestProfile:
         assert "### overhead" in out
         assert "x cycles" in out
 
-    def test_unknown_app_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["profile", "doom"])
+    def test_unknown_app_rejected(self, capsys):
+        assert main(["profile", "doom"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown app 'doom'")
+        assert "Traceback" not in err
+
+    def test_unknown_backend_rejected(self, capsys):
+        assert main(["profile", "nn", "--backend", "warp-drive"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown backend 'warp-drive'")
+
+    def test_unknown_mode_rejected(self, capsys):
+        assert main(["profile", "nn", "--modes", "memory,quantum"]) == 2
+        assert "unknown analysis mode 'quantum'" in capsys.readouterr().err
+
+    def test_conflicting_spill_knobs_rejected(self, capsys):
+        assert main(["profile", "nn", "--spill-rows", "128"]) == 2
+        assert "--spill-rows needs --spill-dir" in capsys.readouterr().err
+
+    def test_bad_sample_rate_rejected(self, capsys):
+        assert main(["profile", "nn", "--sample-rate", "0"]) == 2
+        assert "--sample-rate must be >= 1" in capsys.readouterr().err
+
+    def test_bad_workers_rejected(self, capsys):
+        assert main(["profile", "nn", "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_failure_policy_flag(self, capsys):
+        assert main([
+            "profile", "nn", "--modes", "memory", "--no-overhead",
+            "--failure-policy", "strict",
+        ]) == 0
+        assert "### advice" in capsys.readouterr().out
+
+    def test_repro_errors_are_one_line(self, capsys, monkeypatch):
+        from repro.errors import LaunchError
+
+        def boom(*args, **kwargs):
+            raise LaunchError("device exploded")
+
+        monkeypatch.setattr("repro.cli.CUDAAdvisor.profile", boom)
+        assert main(["profile", "nn"]) == 1
+        err = capsys.readouterr().err
+        assert err == "error: device exploded\n"
 
 
 class TestPTX:

@@ -1,0 +1,238 @@
+"""Spill-to-disk equivalence: a buffer that spills segments must drain
+a record stream byte-identical to an all-in-memory buffer.
+
+Pinned at two levels:
+
+* **Property tests** (hypothesis) drive the columnar buffers directly
+  with random append/extend streams and tiny segment sizes, comparing
+  every drained column against a spill-free twin -- including capacity
+  drops, which must count identically whether rows live in memory or on
+  disk.
+* **App-level tests** run instrumented programs with a tiny
+  ``spill_rows`` so every launch crosses the spill threshold many
+  times, across the serial, batched, and fork-parallel backends, and
+  assert full-profile equality (records, call paths, statistics) plus
+  identical ``stride_sample`` subsets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiler.buffers import (
+    ColumnarArithBuffer,
+    ColumnarMemoryBuffer,
+    stride_sample,
+)
+from repro.profiler.session import ProfilingSession
+from repro.reliability.spill import SpillConfig
+from tests.test_fastpath_equivalence import (
+    APPS,
+    _assert_profiles_match,
+    _profile_session,
+)
+
+WARP = 4  # lanes per row in the property tests (small but 2-D)
+
+
+def _append_memory(buf, i):
+    buf.append(
+        seq=i, cta=i % 7, warp_in_cta=i % 3,
+        addrs=np.arange(WARP, dtype=np.int64) + i,
+        mask=np.arange(WARP) % 2 == i % 2,
+        bits=32, line=i % 11, col=i % 5, op=i % 2, call_path_id=i % 13,
+    )
+
+
+def _assert_memory_columns_equal(a, b):
+    assert len(a) == len(b)
+    for f in ("seq", "cta", "warp_in_cta", "bits", "line", "col", "op",
+              "call_path_id", "addresses", "mask"):
+        assert np.array_equal(getattr(a, f), getattr(b, f)), f
+
+
+def _assert_arith_columns_equal(a, b):
+    assert len(a) == len(b)
+    assert list(a.opcodes) == list(b.opcodes)
+    for f in ("seq", "cta", "warp_in_cta", "bits", "is_float", "line",
+              "col", "active_lanes", "call_path_id"):
+        assert np.array_equal(getattr(a, f), getattr(b, f)), f
+
+
+class TestSpillPropertyMemory:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=400),
+        segment_rows=st.integers(min_value=1, max_value=64),
+    )
+    def test_drain_identical_to_memory_only(self, tmp_path_factory, n,
+                                            segment_rows):
+        spill = SpillConfig(
+            directory=str(tmp_path_factory.mktemp("spill")),
+            segment_rows=segment_rows,
+        )
+        plain = ColumnarMemoryBuffer()
+        spilly = ColumnarMemoryBuffer(spill=spill)
+        for i in range(n):
+            _append_memory(plain, i)
+            _append_memory(spilly, i)
+        assert len(spilly) == len(plain) == n
+        if n > segment_rows:
+            assert spilly.spilled > 0
+        _assert_memory_columns_equal(plain.drain(), spilly.drain())
+        assert spilly.dropped == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=300),
+        segment_rows=st.integers(min_value=1, max_value=64),
+        capacity=st.integers(min_value=0, max_value=200),
+    )
+    def test_capacity_counts_disk_rows(self, tmp_path_factory, n,
+                                       segment_rows, capacity):
+        """``capacity`` bounds total retained rows (memory + spilled),
+        and the retained prefix matches a spill-free capped buffer."""
+        spill = SpillConfig(
+            directory=str(tmp_path_factory.mktemp("spill")),
+            segment_rows=segment_rows,
+        )
+        plain = ColumnarMemoryBuffer(capacity)
+        spilly = ColumnarMemoryBuffer(capacity, spill)
+        for i in range(n):
+            _append_memory(plain, i)
+            _append_memory(spilly, i)
+        assert spilly.dropped == plain.dropped == max(0, n - capacity)
+        _assert_memory_columns_equal(plain.drain(), spilly.drain())
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        chunks=st.lists(
+            st.integers(min_value=0, max_value=120), max_size=6
+        ),
+        segment_rows=st.integers(min_value=1, max_value=48),
+    )
+    def test_bulk_extend_spills_identically(self, tmp_path_factory, chunks,
+                                            segment_rows):
+        """extend() (the parallel-shard merge path) may build segments
+        larger than ``segment_rows``; the drained stream is unchanged."""
+        spill = SpillConfig(
+            directory=str(tmp_path_factory.mktemp("spill")),
+            segment_rows=segment_rows,
+        )
+        plain = ColumnarMemoryBuffer()
+        spilly = ColumnarMemoryBuffer(spill=spill)
+        seq = 0
+        for chunk in chunks:
+            source = ColumnarMemoryBuffer()
+            for _ in range(chunk):
+                _append_memory(source, seq)
+                seq += 1
+            cols = source.drain()
+            plain.extend(cols)
+            spilly.extend(cols)
+        _assert_memory_columns_equal(plain.drain(), spilly.drain())
+
+
+class TestSpillPropertyArith:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=300),
+        segment_rows=st.integers(min_value=1, max_value=64),
+        rate=st.sampled_from([1, 2, 3, 5]),
+    )
+    def test_drain_and_stride_sample_identical(self, tmp_path_factory, n,
+                                               segment_rows, rate):
+        """Opcode interning survives segment boundaries, and the
+        drain-time stride filter keeps the same subset either way."""
+        spill = SpillConfig(
+            directory=str(tmp_path_factory.mktemp("spill")),
+            segment_rows=segment_rows,
+        )
+        mem_spill = ColumnarMemoryBuffer(spill=spill)
+        mem_plain = ColumnarMemoryBuffer()
+        arith_spill = ColumnarArithBuffer(spill=spill)
+        arith_plain = ColumnarArithBuffer()
+        for i in range(n):
+            if i % 3 == 0:
+                _append_memory(mem_plain, i)
+                _append_memory(mem_spill, i)
+            else:
+                for buf in (arith_plain, arith_spill):
+                    buf.append(
+                        seq=i, cta=i % 5, warp_in_cta=i % 3,
+                        opcode=("fadd", "fmul", "add")[i % 3],
+                        bits=32, is_float=i % 2 == 0, line=i % 9,
+                        col=i % 4, active_lanes=WARP, call_path_id=i % 7,
+                    )
+        ms, az = stride_sample(mem_spill.drain(), arith_spill.drain(), rate)
+        mp, ap = stride_sample(mem_plain.drain(), arith_plain.drain(), rate)
+        _assert_memory_columns_equal(mp, ms)
+        _assert_arith_columns_equal(ap, az)
+
+
+# -- app level: every backend drains spilled traces identically -------------------
+
+
+def _spilled_session(app_name, app_kwargs, tmp_path, workers=None,
+                     backend=None, sample_rate=1, spill_rows=64):
+    from repro.apps import build_app
+    from repro.frontend import compile_kernels
+    from repro.gpu import Device, KEPLER_K40C
+    from repro.host import CudaRuntime
+    from repro.passes import instrumentation_pipeline, optimization_pipeline
+
+    app = build_app(app_name, **app_kwargs)
+    module = compile_kernels(list(app.kernels), app_name)
+    optimization_pipeline().run(module)
+    instrumentation_pipeline(["memory", "blocks", "arith"]).run(module)
+    session = ProfilingSession(
+        sample_rate=sample_rate, spill_dir=str(tmp_path),
+        spill_rows=spill_rows,
+    )
+    device = Device(KEPLER_K40C)
+    device.parallel_workers = workers
+    if backend is not None:
+        device.backend = backend
+    runtime = CudaRuntime(device, profiler=session)
+    image = device.load_module(module)
+    state = app.prepare(runtime)
+    app.run(runtime, image, state)
+    return session
+
+
+@pytest.mark.parametrize(
+    "backend,workers,app",
+    [
+        (None, None, APPS[0]),
+        ("batched", None, APPS[0]),
+        # hotspot launches 4 CTAs, so 4 workers genuinely shard the SMs
+        (None, 4, APPS[1]),
+    ],
+)
+def test_spilled_app_traces_byte_identical(tmp_path, backend, workers, app):
+    app_name, app_kwargs = app
+    in_memory = _profile_session(app_name, app_kwargs).profiles
+    spilled = _spilled_session(
+        app_name, app_kwargs, tmp_path, workers=workers, backend=backend
+    )
+    assert sum(p.spilled_records for p in spilled.profiles) > 0
+    _assert_profiles_match(in_memory, spilled.profiles)
+
+
+def test_spilled_stride_sample_subset_matches(tmp_path):
+    app_name, app_kwargs = APPS[0]
+    plain = _profile_session(app_name, app_kwargs, sample_rate=3).profiles
+    spilled = _spilled_session(
+        app_name, app_kwargs, tmp_path, sample_rate=3
+    ).profiles
+    _assert_profiles_match(plain, spilled)
+
+
+def test_spill_directory_left_clean(tmp_path):
+    """Drained segments are deleted; nothing leaks between launches."""
+    import os
+
+    app_name, app_kwargs = APPS[0]
+    _spilled_session(app_name, app_kwargs, tmp_path)
+    assert os.listdir(str(tmp_path)) == []
