@@ -20,6 +20,11 @@ Usage::
                         wall time (the usual robust estimator on noisy,
                         shared machines; event counts are deterministic
                         and identical across repeats)
+    --floor R           with a non-interpreter backend: exit nonzero if
+                        any app's instrumented vs_interpreter speedup
+                        falls below R (the CI regression guard; e.g.
+                        --floor 0.95 means "no app may run more than 5%
+                        slower than the interpreter")
 
 The JSON keeps two sections per configuration key: ``baseline``
 (written once per era with --update-baseline, e.g. before a perf PR
@@ -188,7 +193,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="trace-sampling stride for instrumented runs")
     parser.add_argument("--repeat", type=int, default=1,
                         help="repeat each measurement N times, keep the min")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="fail (exit 1) if any app's instrumented "
+                        "vs_interpreter speedup drops below this ratio "
+                        "(needs a non-interpreter --backend and a prior "
+                        "interpreter run of the same suite)")
     args = parser.parse_args(argv)
+    if args.floor is not None and args.backend == "interpreter":
+        parser.error("--floor needs a non-interpreter --backend")
 
     apps = (
         QUICK_APPS if args.quick else {name: {} for name in APP_NAMES}
@@ -267,6 +279,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         json.dump(existing, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"wrote {RESULT_FILE}")
+
+    if args.floor is not None:
+        vs = section.get("vs_interpreter")
+        if vs is None:
+            print(f"--floor {args.floor}: no interpreter reference for "
+                  f"{base_key!r}; run the interpreter suite first",
+                  file=sys.stderr)
+            return 1
+        slow = {
+            name: ratios["instrumented"]
+            for name, ratios in vs["apps"].items()
+            if ratios["instrumented"] is not None
+            and ratios["instrumented"] < args.floor
+        }
+        if slow:
+            print(f"--floor {args.floor}: apps below the per-app "
+                  f"instrumented floor: " + ", ".join(
+                      f"{name} ({ratio:.3f}x)"
+                      for name, ratio in sorted(slow.items())
+                  ), file=sys.stderr)
+            return 1
+        print(f"--floor {args.floor}: all apps at or above the floor")
     return 0
 
 

@@ -91,6 +91,27 @@ def render_buffer_accounting(app: str, profiles: Sequence) -> str:
     return "\n".join(lines)
 
 
+def render_jit_cache(app: str, stats: dict) -> str:
+    """JIT trace-cache counters for one profiled run (batched backend).
+
+    ``stats`` is ``JitCacheStats.snapshot()``: specialization hits and
+    misses plus decode-stream reuses. A healthy multi-launch run shows
+    hits dominating misses (each kernel is specialized once, then every
+    later launch of the same module is a cache hit).
+    """
+    total = stats.get("hits", 0) + stats.get("misses", 0)
+    rate = stats.get("hits", 0) / total if total else 0.0
+    lines = [
+        f"JIT trace cache -- {app}",
+        f"{'hits':>8} {'misses':>8} {'specialized':>12} "
+        f"{'decode reuses':>14} {'hit rate':>9}",
+        f"{stats.get('hits', 0):>8} {stats.get('misses', 0):>8} "
+        f"{stats.get('specializations', 0):>12} "
+        f"{stats.get('decode_reuses', 0):>14} {rate:>8.0%}",
+    ]
+    return "\n".join(lines)
+
+
 def render_bypass_table(
     arch_label: str,
     rows: Sequence[Tuple[str, float, float, int, int]],

@@ -21,6 +21,7 @@ from repro.analysis.report import (
     render_branch_table,
     render_buffer_accounting,
     render_divergence_distribution,
+    render_jit_cache,
     render_reuse_histogram,
 )
 from repro.apps import APP_NAMES, TABLE2, build_app
@@ -116,6 +117,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--spill-rows", type=int, default=None,
         help="rows per spill segment (needs --spill-dir; default 65536)",
     )
+    profile.add_argument(
+        "--verbose", action="store_true",
+        help="print execution internals (JIT trace-cache counters, ...)",
+    )
 
     bypass = sub.add_parser(
         "bypass", help="evaluate Eq.(1) horizontal bypassing vs the oracle"
@@ -207,6 +212,10 @@ def _cmd_profile(args) -> int:
     if any(p.dropped_records or p.spilled_records for p in profiles):
         print("### trace buffers")
         print(render_buffer_accounting(args.app, profiles))
+        print()
+    if args.verbose and report.jit_cache is not None:
+        print("### jit trace cache")
+        print(render_jit_cache(args.app, report.jit_cache))
         print()
     if len(report.session.profiles) > 1:
         from repro.analysis.statistics import (

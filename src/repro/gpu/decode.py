@@ -177,6 +177,16 @@ def _model_global(it, warp, addrs, mask, width: int, mode: int,
                   is_write: bool) -> None:
     """Coalesce and send transactions through L1 + MSHRs + timing."""
     lines = coalesce_lines(addrs, mask, width, it.line_size)
+    _model_global_lines(it, warp, lines, mode, is_write)
+
+
+def _model_global_lines(it, warp, lines, mode: int, is_write: bool) -> None:
+    """Send pre-coalesced cache lines through L1 + MSHRs + timing.
+
+    Split out so the batched backend can coalesce a whole batch's
+    address matrix once at record time and replay each warp with its
+    precomputed line list.
+    """
     if mode == 1:
         bypass = True
     elif mode == 0:

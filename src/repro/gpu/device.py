@@ -26,10 +26,11 @@ import numpy as np
 
 from repro.errors import ExecutionError, LaunchError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40C
-from repro.gpu.backend_batched import run_sm_batched
+from repro.gpu.backend_batched import form_launch_gangs, run_sm_batched
 from repro.gpu.cache import CacheStats, MSHRFile, SetAssociativeCache
 from repro.gpu.decode import decode_module
 from repro.gpu.interpreter import BarrierReached, WarpInterpreter
+from repro.gpu.jit_cache import JitTraceCache
 from repro.gpu.memory import Allocation, GlobalMemory, LocalMemory, SharedMemory
 from repro.gpu.simt import Warp, WarpStatus
 from repro.gpu.timing import SMTimingModel, TimingParams
@@ -155,8 +156,10 @@ class DeviceModuleImage:
                 self.functions_by_id.append(fn)
 
         # Pre-decode every function body into micro-op arrays (the fast
-        # path the interpreter executes; see repro.gpu.decode).
-        self.decoded = decode_module(self)
+        # path the interpreter executes; see repro.gpu.decode). The
+        # device's JIT trace cache shares streams between images whose
+        # module text is identical.
+        self.decoded = device.jit_cache.decode(self)
 
     # -- queries used by the interpreter ------------------------------------
     def ipostdom(self, fn: Function, block: BasicBlock) -> Optional[BasicBlock]:
@@ -363,9 +366,18 @@ class Device:
         #: backends produce byte-identical traces and statistics.
         self.backend = "interpreter"
         self._launch_backend = "interpreter"  # resolved per launch
-        #: kernels whose CTAs de-batched once; later CTAs skip the
-        #: batched attempt (a speed heuristic, never a semantic one).
-        self._debatched_kernels: set = set()
+        self._launch_spec = None  # JIT spec resolved per batched launch
+        #: per-kernel count of CTAs that fell back from the batched
+        #: machine; once it reaches ``batch_fallback_limit`` later CTAs
+        #: skip the batched attempt (a speed heuristic, never a
+        #: semantic one -- fallbacks are always exact).
+        self._batch_fallbacks: Dict[str, int] = {}
+        self.batch_fallback_limit = 2
+        #: max rows in a CTA *gang*: single-warp CTAs (where per-CTA
+        #: batching has nothing to batch) fused into one lock-step
+        #: machine, one CTA per row.
+        self.batch_gang_width = 16
+        self._jit_cache = None
         #: how launches react when they cannot run as requested:
         #: "strict" raises LaunchDegradedError, "degrade" (default)
         #: falls back with one warning per (reason, kernel), and
@@ -390,6 +402,13 @@ class Device:
         if self._supervisor is None:
             self._supervisor = LaunchSupervisor(self)
         return self._supervisor
+
+    @property
+    def jit_cache(self) -> JitTraceCache:
+        """The per-kernel JIT trace cache (lazy; batched backend)."""
+        if self._jit_cache is None:
+            self._jit_cache = JitTraceCache(self.arch.name)
+        return self._jit_cache
 
     # -- memory API (used by the host runtime) ---------------------------------
     def malloc(self, nbytes: int, tag: str = "") -> DevicePointer:
@@ -458,6 +477,11 @@ class Device:
             )
             backend = "interpreter"
         self._launch_backend = backend
+        self._launch_spec = (
+            self.jit_cache.specialize(image, kernel_name)
+            if backend == "batched"
+            else None
+        )
         kernel = image.kernel(kernel_name)
         grid3 = _as_dim3(grid)
         block3 = _as_dim3(block)
@@ -500,6 +524,8 @@ class Device:
                 image, kernel_name, grid3, block3, bound_args, hooks,
                 l1_warps_per_cta, pc_sampler, warps_per_cta, None,
             )
+            if self._launch_backend == "batched":
+                form_launch_gangs(self, sms, image, self.max_steps)
             total_steps = 0
             for index in sorted(sms):
                 total_steps += self._run_sm_any(
@@ -815,6 +841,8 @@ class Device:
             image, kernel_name, grid3, block3, bound_args, hooks,
             l1_warps_per_cta, None, warps_per_cta, sm_indices,
         )
+        if self._launch_backend == "batched":
+            form_launch_gangs(self, sms, image, self.max_steps)
         steps = 0
         for index in sorted(sms):
             steps += self._run_sm_any(

@@ -1,0 +1,135 @@
+"""Per-kernel JIT trace cache for the batched backend.
+
+Two content-addressed layers, both living on the :class:`Device` (the
+spirit of numba's ``function_cache``: specialize once, reuse on every
+later launch of the same code):
+
+* **Decode reuse** -- ``decode(image)`` returns the module's pre-decoded
+  micro-op streams, sharing them between images whose printed IR is
+  identical (decode bakes absolute addresses, so modules that allocate
+  ``GLOBAL``-space variables -- whose addresses depend on allocator
+  state -- always re-decode).
+
+* **Kernel specialization** -- ``specialize(image, kernel_name)`` lowers
+  the kernel's decoded stream (and every device function it can reach)
+  into the batched backend's dispatch form: per block, a tuple of
+  ``(masked_handler, micro_op, pure_run_len)`` triples with the handler
+  pre-resolved and runs of pure register-only ops pre-measured so the
+  executor can sprint through them without per-op table lookups.
+  Keyed on ``(module content hash, kernel name, arch)``; a repeated
+  launch of the same module skips decode *and* dispatch resolution.
+
+Counters (``device.jit_cache.stats``) are surfaced in the profiler
+report and the CLI's ``--verbose`` output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpu.backend_batched import _BATCHED, _PURE
+from repro.gpu.decode import _mo_call, decode_module
+from repro.ir import print_module
+
+
+class JitCacheStats:
+    """Hit/miss/specialization counters for one device's trace cache."""
+
+    __slots__ = ("hits", "misses", "specializations", "decode_reuses")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.specializations = 0
+        self.decode_reuses = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "specializations": self.specializations,
+            "decode_reuses": self.decode_reuses,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<JitCacheStats hits={self.hits} misses={self.misses} "
+                f"specializations={self.specializations}>")
+
+
+def _content_key(image) -> str:
+    """Content hash of the image's module text (cached on the image)."""
+    key = getattr(image, "_jit_content_key", None)
+    if key is None:
+        key = hashlib.sha256(print_module(image.module).encode()).hexdigest()
+        image._jit_content_key = key
+    return key
+
+
+def build_spec(decoded_map, kernel_name: str) -> Dict[int, list]:
+    """Lower a kernel (+ reachable callees) to batched dispatch form."""
+    spec: Dict[int, list] = {}
+    seen = set()
+    work = [decoded_map[kernel_name]]
+    while work:
+        fn = work.pop()
+        if fn.name in seen:
+            continue
+        seen.add(fn.name)
+        for blk in fn.blocks:
+            rows: List[list] = []
+            for op in blk.ops:
+                handler = _BATCHED.get(op.run)
+                rows.append([handler, op, 0])
+                if op.run is _mo_call:
+                    work.append(op.b)
+            run = 0
+            for k in range(len(rows) - 1, -1, -1):
+                handler = rows[k][0]
+                if handler is not None and handler in _PURE:
+                    run += 1
+                else:
+                    run = 0
+                rows[k][2] = run
+            spec[id(blk)] = [tuple(row) for row in rows]
+    return spec
+
+
+class JitTraceCache:
+    """Device-resident cache of decoded modules and kernel specs."""
+
+    def __init__(self, arch_name: str):
+        self.arch_name = arch_name
+        self.stats = JitCacheStats()
+        self._decoded: Dict[Tuple[str, str], object] = {}
+        self._specs: Dict[Tuple[str, str, str], Tuple[object, dict]] = {}
+
+    # -- decode layer --------------------------------------------------------
+    def decode(self, image):
+        """Decode ``image``'s module, reusing streams by content hash."""
+        if image.global_addrs:
+            # GLOBAL-space variables get allocator-dependent addresses
+            # baked into the stream: never share across images.
+            return decode_module(image)
+        key = (_content_key(image), self.arch_name)
+        cached = self._decoded.get(key)
+        if cached is not None:
+            self.stats.decode_reuses += 1
+            return cached
+        decoded = decode_module(image)
+        self._decoded[key] = decoded
+        return decoded
+
+    # -- specialization layer ------------------------------------------------
+    def specialize(self, image, kernel_name: str) -> Optional[dict]:
+        """Fetch (or build) the batched dispatch spec for one kernel."""
+        key = (_content_key(image), kernel_name, self.arch_name)
+        entry = self._specs.get(key)
+        if entry is not None and entry[0] is image.decoded:
+            self.stats.hits += 1
+            return entry[1]
+        self.stats.misses += 1
+        spec = build_spec(image.decoded, kernel_name)
+        self.stats.specializations += 1
+        self._specs[key] = (image.decoded, spec)
+        return spec

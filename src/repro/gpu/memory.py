@@ -192,9 +192,21 @@ class LocalMemory:
     """
 
     def __init__(self, warp_size: int, arena_size: int = 1 << 16):
-        self._buf = np.zeros((warp_size, arena_size), dtype=np.uint8)
+        # The arena is allocated lazily: most kernels keep every value in
+        # registers and never touch local memory, and zeroing a
+        # (32, 64KiB) array per resident warp dominates launch setup.
+        self._lazy_buf: Optional[np.ndarray] = None
+        self._warp_size = warp_size
         self.arena_size = arena_size
         self._lane_index = np.arange(warp_size)
+
+    @property
+    def _buf(self) -> np.ndarray:
+        buf = self._lazy_buf
+        if buf is None:
+            buf = np.zeros((self._warp_size, self.arena_size), dtype=np.uint8)
+            self._lazy_buf = buf
+        return buf
 
     def gather(self, addrs: np.ndarray, mask: np.ndarray, dtype: np.dtype) -> np.ndarray:
         itemsize = dtype.itemsize

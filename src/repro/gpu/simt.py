@@ -112,6 +112,30 @@ class Frame:
         entry.index = index
         return frame
 
+    @classmethod
+    def resume_multi(cls, decoded, entries, regs, sp: int, base_sp: int,
+                     ret_slot, returned_mask: np.ndarray,
+                     ret_values: Optional[np.ndarray]) -> "Frame":
+        """Rebuild a frame mid-execution with an explicit stack.
+
+        Used by the masked batched backend's fallback, which must
+        reconstruct arbitrary divergent state: ``entries`` is the
+        bottom-to-top list of ``(block, index, reconv, mask)`` tuples
+        (masks may be empty -- the interpreter pops those as admin
+        steps, exactly as it would have serially), and the returned
+        lanes / pending return values are restored verbatim.
+        """
+        frame = cls(decoded, returned_mask, sp, ret_slot)
+        frame.regs = regs
+        frame.base_sp = base_sp
+        frame.returned_mask = returned_mask
+        frame.ret_values = ret_values
+        frame.stack = [
+            StackEntry(block, index, reconv, mask)
+            for block, index, reconv, mask in entries
+        ]
+        return frame
+
 
 class Warp:
     """A 32-lane warp plus its execution state."""

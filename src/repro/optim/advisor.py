@@ -88,6 +88,9 @@ class AdvisorReport:
     arithmetic: Optional[ArithmeticProfile] = None
     bypass_prediction: Optional[BypassPrediction] = None
     overhead: Optional[OverheadReport] = None
+    #: JIT trace-cache counters from the instrumented run's device
+    #: (batched backend only; see repro.gpu.jit_cache).
+    jit_cache: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> dict:
         """A JSON-serializable summary of every analysis (for dashboards,
@@ -153,6 +156,8 @@ class AdvisorReport:
                 "cycle_overhead": self.overhead.cycle_overhead,
                 "instruction_overhead": self.overhead.instruction_overhead,
             }
+        if self.jit_cache is not None:
+            out["jit_cache"] = dict(self.jit_cache)
         dropped = sum(p.dropped_records for p in self.session.profiles)
         spilled = sum(p.spilled_records for p in self.session.profiles)
         corrupt = sum(p.corrupt_records for p in self.session.profiles)
@@ -320,6 +325,8 @@ class CUDAAdvisor:
             baseline_results=baseline_results,
             instrumented_results=instrumented_results,
         )
+        if rt.device.backend == "batched":
+            report.jit_cache = rt.device.jit_cache.stats.snapshot()
         self._analyze(report, program)
         return report
 

@@ -140,3 +140,80 @@ class TestPostDominators:
         assert ipdom[outer_then] is inner_merge
         assert ipdom[inner_then] is inner_merge
         assert ipdom[inner_merge] is outer_merge
+
+    def test_triangle_if_without_else(self):
+        """entry -> (then | merge), then -> merge: the merge block
+        post-dominates the branch even with one empty arm -- the shape
+        every ``if cond:`` without ``else`` lowers to."""
+        m = Module("m", target="nvptx")
+        fn = m.add_function("f", VOID, [(I32, "n")], kind="kernel")
+        entry = fn.add_block("entry")
+        then = fn.add_block("then")
+        merge = fn.add_block("merge")
+        b = IRBuilder.at_end(entry)
+        cond = b.icmp(CmpPred.LT, fn.args[0], b.i32(0))
+        b.cond_br(cond, then, merge)
+        IRBuilder.at_end(then).br(merge)
+        IRBuilder.at_end(merge).ret()
+        ipdom = immediate_post_dominators(fn)
+        assert ipdom[entry] is merge
+        assert ipdom[then] is merge
+
+    def test_loop_with_break(self):
+        """header -> (body | exit), body -> (latch | exit): the break
+        edge gives the body two exits; the loop exit is the only block
+        that post-dominates header AND body."""
+        m = Module("m", target="nvptx")
+        fn = m.add_function("f", VOID, [(I32, "n")], kind="kernel")
+        entry = fn.add_block("entry")
+        header = fn.add_block("header")
+        body = fn.add_block("body")
+        latch = fn.add_block("latch")
+        exit_ = fn.add_block("exit")
+        IRBuilder.at_end(entry).br(header)
+        b = IRBuilder.at_end(header)
+        c1 = b.icmp(CmpPred.LT, fn.args[0], b.i32(10))
+        b.cond_br(c1, body, exit_)
+        b.position_at_end(body)
+        c2 = b.icmp(CmpPred.EQ, fn.args[0], b.i32(3))
+        b.cond_br(c2, exit_, latch)  # break out of the loop
+        IRBuilder.at_end(latch).br(header)
+        IRBuilder.at_end(exit_).ret()
+        ipdom = immediate_post_dominators(fn)
+        assert ipdom[header] is exit_
+        assert ipdom[body] is exit_  # latch does NOT post-dominate body
+        assert ipdom[latch] is header
+
+    def test_one_arm_returns(self):
+        """entry -> (ret | cont): only the continuing arm reaches the
+        merge, so the branch reconverges at the virtual exit (None) --
+        the batched backend must de-batch such branches."""
+        m = Module("m", target="nvptx")
+        fn = m.add_function("f", VOID, [(I32, "n")], kind="kernel")
+        entry = fn.add_block("entry")
+        early = fn.add_block("early")
+        cont = fn.add_block("cont")
+        b = IRBuilder.at_end(entry)
+        cond = b.icmp(CmpPred.LT, fn.args[0], b.i32(0))
+        b.cond_br(cond, early, cont)
+        IRBuilder.at_end(early).ret()
+        IRBuilder.at_end(cont).ret()
+        ipdom = immediate_post_dominators(fn)
+        assert ipdom[entry] is None
+        assert ipdom[early] is None
+        assert ipdom[cont] is None
+
+    def test_straightline_chain(self):
+        """a -> b -> c: each block's ipostdom is simply its successor."""
+        m = Module("m", target="nvptx")
+        fn = m.add_function("f", VOID, [], kind="kernel")
+        a = fn.add_block("a")
+        b_blk = fn.add_block("b")
+        c = fn.add_block("c")
+        IRBuilder.at_end(a).br(b_blk)
+        IRBuilder.at_end(b_blk).br(c)
+        IRBuilder.at_end(c).ret()
+        ipdom = immediate_post_dominators(fn)
+        assert ipdom[a] is b_blk
+        assert ipdom[b_blk] is c
+        assert ipdom[c] is None

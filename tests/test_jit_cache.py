@@ -1,0 +1,124 @@
+"""The per-kernel JIT trace cache: repeat launches of the same module
+must hit the specialization cache, identical modules must share decoded
+streams, and the counters must surface in the profiler report and the
+CLI's --verbose output."""
+
+import numpy as np
+
+from repro.cli import main
+from repro.analysis.report import render_jit_cache
+from repro.frontend import compile_kernels
+from repro.gpu import Device, KEPLER_K40C
+from repro.gpu.jit_cache import build_spec
+from repro.host import CudaRuntime
+from repro.passes import optimization_pipeline
+from tests.conftest import KERNELS
+
+
+def _batched_runtime():
+    device = Device(KEPLER_K40C)
+    device.backend = "batched"
+    return device, CudaRuntime(device)
+
+
+def _saxpy_image(device):
+    module = compile_kernels([KERNELS["saxpy"]], "m")
+    optimization_pipeline().run(module)
+    return device.load_module(module)
+
+
+def _launch_saxpy(runtime, image, n=128):
+    d = runtime.cuda_malloc(4 * n, "d")
+    runtime.launch_kernel(image, "saxpy", 2, 64, [d, d, np.float32(2.0), n])
+
+
+def test_second_launch_is_a_cache_hit():
+    device, runtime = _batched_runtime()
+    image = _saxpy_image(device)
+    _launch_saxpy(runtime, image)
+    stats = device.jit_cache.stats
+    assert stats.misses == 1
+    assert stats.specializations == 1
+    assert stats.hits == 0
+    _launch_saxpy(runtime, image)
+    assert stats.hits == 1
+    assert stats.misses == 1
+    assert stats.specializations == 1  # spec built exactly once
+
+
+def test_reloaded_identical_module_reuses_decode_and_spec():
+    device, runtime = _batched_runtime()
+    image1 = _saxpy_image(device)
+    image2 = _saxpy_image(device)  # same IR text, separate image
+    assert device.jit_cache.stats.decode_reuses == 1
+    assert image2.decoded is image1.decoded
+    _launch_saxpy(runtime, image1)
+    _launch_saxpy(runtime, image2)
+    stats = device.jit_cache.stats
+    assert stats.hits == 1  # image2's launch reuses image1's spec
+    assert stats.specializations == 1
+
+
+def test_interpreter_backend_does_not_specialize():
+    device = Device(KEPLER_K40C)
+    runtime = CudaRuntime(device)
+    image = _saxpy_image(device)
+    _launch_saxpy(runtime, image)
+    assert device.jit_cache.stats.specializations == 0
+    assert device.jit_cache.stats.hits == 0
+
+
+def test_build_spec_measures_pure_runs():
+    device, _ = _batched_runtime()
+    image = _saxpy_image(device)
+    spec = build_spec(image.decoded, "saxpy")
+    assert spec  # one entry per reachable block
+    for rows in spec.values():
+        for k, (handler, op, run) in enumerate(rows):
+            if run:
+                # A run of length r starting here means r pure ops ahead.
+                assert all(r[0] is not None for r in rows[k:k + run])
+
+
+def test_advisor_report_carries_jit_stats():
+    from repro.apps import build_app
+    from repro.optim.advisor import CUDAAdvisor
+
+    advisor = CUDAAdvisor(modes=("memory",), measure_overhead=False,
+                          backend="batched")
+    report = advisor.profile(build_app("nn"))
+    assert report.jit_cache is not None
+    assert report.jit_cache["specializations"] >= 1
+    assert "jit_cache" in report.to_dict()
+
+    interp = CUDAAdvisor(modes=("memory",), measure_overhead=False)
+    assert interp.profile(build_app("nn")).jit_cache is None
+
+
+def test_render_jit_cache_formats_counters():
+    text = render_jit_cache(
+        "nn", {"hits": 3, "misses": 1, "specializations": 1,
+               "decode_reuses": 2},
+    )
+    assert "JIT trace cache -- nn" in text
+    assert "75%" in text  # 3 hits / 4 lookups
+
+
+def test_cli_verbose_prints_jit_section(capsys):
+    code = main([
+        "profile", "nn", "--modes", "memory", "--no-overhead",
+        "--backend", "batched", "--verbose",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "### jit trace cache" in out
+    assert "hit rate" in out
+
+
+def test_cli_quiet_omits_jit_section(capsys):
+    code = main([
+        "profile", "nn", "--modes", "memory", "--no-overhead",
+        "--backend", "batched",
+    ])
+    assert code == 0
+    assert "### jit trace cache" not in capsys.readouterr().out

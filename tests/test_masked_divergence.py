@@ -1,0 +1,179 @@
+"""Property-based byte-identity for the masked batched backend.
+
+Hypothesis drives adversarial divergence shapes -- nested if/else
+chains, per-lane loop trip counts, gated barriers -- and the batched
+backend's results (outputs, counters, cycles, and full instrumented
+traces) must be indistinguishable from the serial interpreter's,
+including the errors it raises."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.frontend import compile_kernels, i32, kernel, ptr_i32
+from repro.gpu import Device, KEPLER_K40C
+from repro.host import CudaRuntime
+from repro.passes import instrumentation_pipeline, optimization_pipeline
+from repro.profiler import ProfilingSession
+from tests.test_backend_batched import (
+    _assert_profiles_identical,
+    _assert_results_identical,
+)
+
+
+@kernel
+def k_nested_ifelse(data: ptr_i32, out: ptr_i32, n: i32):
+    gid = ctaid_x * ntid_x + tid_x
+    if gid < n:
+        v = data[gid]
+        acc = 0
+        if v % 4 == 0:
+            if v % 8 == 0:
+                acc = v * 3
+            else:
+                acc = v + 7
+        else:
+            if v % 2 == 0:
+                acc = v - 9
+            else:
+                if v % 3 == 0:
+                    acc = -v
+                else:
+                    acc = v * v
+        out[gid] = acc
+
+
+@kernel
+def k_lane_loops(data: ptr_i32, out: ptr_i32, n: i32):
+    gid = ctaid_x * ntid_x + tid_x
+    if gid < n:
+        v = data[gid]
+        acc = 0
+        i = 0
+        while i < v % 11:  # per-lane trip count: lanes retire one by one
+            if i % 3 == 0:
+                j = 0
+                while j < i % 5:  # nested, also per-lane
+                    acc += j
+                    j += 1
+            else:
+                acc -= i
+            i += 1
+        out[gid] = acc
+
+
+@kernel
+def k_gated_barrier(out: ptr_i32, k: i32):
+    t = tid_x
+    if t < k:
+        syncthreads()
+    out[t] = t
+
+
+def _compile(kern, instrument=True):
+    module = compile_kernels([kern], "m")
+    optimization_pipeline().run(module)
+    if instrument:
+        instrumentation_pipeline(["memory", "blocks", "arith"]).run(module)
+    return module
+
+
+def _run_data_kernel(kern, name, backend, values, grid=2, block=64):
+    """Launch on one backend and capture result + output + profile."""
+    data = np.asarray(values, dtype=np.int32)
+    n = len(data)
+    session = ProfilingSession()
+    device = Device(KEPLER_K40C)
+    device.backend = backend
+    runtime = CudaRuntime(device, profiler=session)
+    image = device.load_module(_compile(kern))
+    out_host = np.zeros(n, dtype=np.int32)
+    d_in = runtime.cuda_malloc(data.nbytes, "in")
+    d_out = runtime.cuda_malloc(out_host.nbytes, "out")
+    runtime.cuda_memcpy_htod(d_in, data)
+    runtime.cuda_memcpy_htod(d_out, out_host)
+    result = runtime.launch_kernel(image, name, grid, block,
+                                   [d_in, d_out, n])
+    runtime.cuda_memcpy_dtoh(out_host, d_out)
+    return result, out_host, session.last_profile
+
+
+def _assert_backends_agree(kern, name, values, grid=2, block=64):
+    ra, oa, pa = _run_data_kernel(kern, name, "interpreter", values,
+                                  grid=grid, block=block)
+    rb, ob, pb = _run_data_kernel(kern, name, "batched", values,
+                                  grid=grid, block=block)
+    assert np.array_equal(oa, ob)
+    _assert_results_identical(ra, rb)
+    _assert_profiles_identical(pa, pb)
+
+
+values_strategy = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=120
+)
+
+
+class TestMaskedDivergenceProperties:
+    @given(values=values_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_nested_ifelse_byte_identical(self, values):
+        _assert_backends_agree(k_nested_ifelse, "k_nested_ifelse", values)
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=1000),
+                           min_size=1, max_size=120))
+    @settings(max_examples=15, deadline=None)
+    def test_per_lane_trip_counts_byte_identical(self, values):
+        _assert_backends_agree(k_lane_loops, "k_lane_loops", values)
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=1000),
+                           min_size=1, max_size=90))
+    @settings(max_examples=10, deadline=None)
+    def test_partial_warp_byte_identical(self, values):
+        """block=48 leaves warp 1 half-resident in every CTA."""
+        _assert_backends_agree(k_lane_loops, "k_lane_loops", values,
+                               block=48)
+
+    @given(values=st.lists(st.integers(min_value=-1000, max_value=1000),
+                           min_size=1, max_size=120))
+    @settings(max_examples=10, deadline=None)
+    def test_single_warp_cta_gangs_byte_identical(self, values):
+        """block=16 means one (partial) warp per CTA: only the
+        launch-wide CTA gangs can batch these, across SMs."""
+        _assert_backends_agree(k_nested_ifelse, "k_nested_ifelse", values,
+                               grid=8, block=16)
+
+
+def _launch_barrier(backend, k, block=64):
+    device = Device(KEPLER_K40C)
+    device.backend = backend
+    runtime = CudaRuntime(device)
+    image = device.load_module(_compile(k_gated_barrier, instrument=False))
+    d_out = runtime.cuda_malloc(4 * block, "out")
+    runtime.launch_kernel(image, "k_gated_barrier", 1, block,
+                          [d_out, int(k)])
+    return runtime.cuda_memcpy_dtoh(np.zeros(block, np.int32), d_out)
+
+
+class TestDivergentBarriers:
+    @given(k=st.integers(min_value=1, max_value=63).filter(
+        lambda k: k % 32 != 0))
+    @settings(max_examples=12, deadline=None)
+    def test_gated_barrier_raises_identically(self, k):
+        """A barrier only part of a warp reaches must fail on both
+        backends with the exact same diagnostic. (k that is a multiple
+        of the warp size gates whole warps -- legal, covered below.)"""
+        with pytest.raises(ExecutionError) as exc_a:
+            _launch_barrier("interpreter", k)
+        with pytest.raises(ExecutionError) as exc_b:
+            _launch_barrier("batched", k)
+        assert str(exc_a.value) == str(exc_b.value)
+
+    @pytest.mark.parametrize("k", [32, 64])
+    def test_warp_uniform_barrier_still_works(self, k):
+        """Whole-warp gating (k = 32) and no gating (k = 64) are both
+        legal and must agree across backends."""
+        oa = _launch_barrier("interpreter", k)
+        ob = _launch_barrier("batched", k)
+        assert np.array_equal(oa, ob)
