@@ -25,6 +25,16 @@ Usage::
                         falls below R (the CI regression guard; e.g.
                         --floor 0.95 means "no app may run more than 5%
                         slower than the interpreter")
+    --rss               measure drain peak RSS instead of speed: each
+                        configuration runs in a forked child and reports
+                        its instrumentation-attributable ru_maxrss
+                        delta (instrumented minus an uninstrumented run
+                        at the same input). Exercises the paper-scale
+                        RSS_APPS inputs (>=4x the registry defaults) and
+                        exits nonzero if the streaming drain exceeds its
+                        per-app ceiling or fails to stay below the
+                        in-RAM drain at the *current* (unscaled) input
+                        sizes (the O(segment) CI gate)
 
 The JSON keeps two sections per configuration key: ``baseline``
 (written once per era with --update-baseline, e.g. before a perf PR
@@ -40,10 +50,23 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import resource
 import sys
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
+# All pipeline imports happen here, in the parent, so --rss fork
+# children inherit them copy-on-write and a child's ru_maxrss delta
+# measures the run, not the import of numpy.
+from repro.analysis import (
+    ReuseDistanceModel,
+    arithmetic_analysis,
+    branch_divergence_analysis,
+    memory_divergence_analysis,
+    reuse_distance_analysis,
+)
+from repro.analysis.aggregates import advisor_plan
 from repro.apps import APP_NAMES, build_app
 from repro.frontend.dsl import compile_kernels
 from repro.gpu.arch import KEPLER_K40C
@@ -63,6 +86,38 @@ QUICK_APPS: Dict[str, dict] = {
 }
 
 INSTRUMENT_MODES = ["memory", "blocks", "arith"]
+
+#: Paper-scale RSS measurements (--rss). ``small`` is the registry
+#: default input, ``scaled`` grows the *trace* by >= 4x (via steps /
+#: iterations where the app supports it, so analyzer cursor state --
+#: which is O(distinct footprint), not O(trace) -- stays comparable),
+#: and ``ceiling_kb`` is the absolute backstop for the streaming
+#: drain's attributable RSS at the scaled input.
+RSS_APPS: Dict[str, dict] = {
+    "bfs": {
+        "small": {"num_nodes": 2048},
+        "scaled": {"num_nodes": 8192},
+        "ceiling_kb": 16384,
+    },
+    "hotspot": {
+        "small": {"n": 64, "steps": 4},
+        "scaled": {"n": 64, "steps": 16},
+        "ceiling_kb": 8192,
+    },
+    "srad_v2": {
+        "small": {"n": 64, "iterations": 2},
+        "scaled": {"n": 64, "iterations": 8},
+        "ceiling_kb": 10240,
+    },
+}
+
+#: Cache-line size handed to the drain-time analyzers in --rss runs.
+RSS_LINE_SIZE = 128
+
+#: Spill segment size for --rss runs: big enough that segment framing
+#: is not the bottleneck, small enough that O(segment) is visibly
+#: smaller than the full trace.
+RSS_SPILL_ROWS = 2048
 
 
 def _run_app(
@@ -178,6 +233,140 @@ def run_suite(
     return {"apps": per_app, "aggregate": aggregate}
 
 
+def _rss_child(app_name: str, app_kwargs: dict, mode: str) -> int:
+    """Peak-RSS delta (KB) of one configuration, run in a forked child.
+
+    ``mode`` is ``plain`` (uninstrumented), ``inram`` (instrumented,
+    default drain, batch analyses over the materialized trace) or
+    ``stream`` (instrumented, streaming drain through an
+    :func:`advisor_plan` analyzer bank). The child records its
+    ``ru_maxrss`` before and after the run; since maxrss is a
+    high-water mark, the delta is exactly the memory the run grew the
+    child by on top of the (copy-on-write, parent-resident) imports.
+    """
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        status = 1
+        try:
+            os.close(read_fd)
+            start = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            with tempfile.TemporaryDirectory() as spill_dir:
+                app = build_app(app_name, **app_kwargs)
+                module = compile_kernels(list(app.kernels), app_name)
+                optimization_pipeline().run(module)
+                session = None
+                if mode != "plain":
+                    instrumentation_pipeline(INSTRUMENT_MODES).run(module)
+                    plan = None
+                    if mode == "stream":
+                        plan = advisor_plan(RSS_LINE_SIZE, INSTRUMENT_MODES)
+                    session = ProfilingSession(
+                        spill_dir=spill_dir,
+                        spill_rows=RSS_SPILL_ROWS,
+                        streaming=plan,
+                    )
+                device = Device(KEPLER_K40C)
+                rt = CudaRuntime(device, profiler=session)
+                image = device.load_module(module)
+                state = app.prepare(rt)
+                app.run(rt, image, state)
+                # Force the same analyses on both drain paths so the
+                # comparison is analyzers-vs-analyzers, not
+                # analyzers-vs-nothing.
+                if mode == "stream":
+                    for profile in session.profiles:
+                        profile.aggregates.results()
+                elif mode == "inram":
+                    for profile in session.profiles:
+                        reuse_distance_analysis(
+                            profile, ReuseDistanceModel.ELEMENT, RSS_LINE_SIZE
+                        )
+                        reuse_distance_analysis(
+                            profile, ReuseDistanceModel.CACHE_LINE,
+                            RSS_LINE_SIZE,
+                        )
+                        memory_divergence_analysis(profile, RSS_LINE_SIZE)
+                        branch_divergence_analysis(profile)
+                        arithmetic_analysis(profile)
+            end = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            with os.fdopen(write_fd, "w") as out:
+                json.dump({"delta_kb": end - start}, out)
+            status = 0
+        finally:
+            os._exit(status)
+    os.close(write_fd)
+    with os.fdopen(read_fd) as pipe:
+        payload = pipe.read()
+    _, wait_status = os.waitpid(pid, 0)
+    if wait_status != 0 or not payload:
+        raise RuntimeError(
+            f"--rss child failed: {app_name} {app_kwargs} mode={mode}"
+        )
+    return json.loads(payload)["delta_kb"]
+
+
+def run_rss_suite(repeat: int = 1) -> dict:
+    """Attributable drain RSS per app; the O(segment) acceptance gate.
+
+    For each :data:`RSS_APPS` entry this measures, best-of-``repeat``:
+
+    - ``attr_inram_small_kb``: in-RAM drain + batch analyses at the
+      *current* (registry-default) input, minus an uninstrumented run
+      at the same input,
+    - ``attr_stream_scaled_kb``: streaming drain at the >=4x input,
+      minus uninstrumented at the >=4x input,
+    - ``attr_inram_scaled_kb``: in-RAM drain at the >=4x input (the
+      same-scale comparison, recorded for context).
+
+    An app passes iff the streaming drain at the scaled input stays
+    under its absolute ceiling AND under the in-RAM drain at the small
+    input -- i.e. growing the trace 4x must not cost what the old
+    full-trace drain paid at 1x.
+    """
+    per_app: Dict[str, dict] = {}
+    passed = True
+    for name, spec in RSS_APPS.items():
+        raw: Dict[str, int] = {}
+        for label, kwargs, mode in (
+            ("plain_small", spec["small"], "plain"),
+            ("inram_small", spec["small"], "inram"),
+            ("plain_scaled", spec["scaled"], "plain"),
+            ("stream_scaled", spec["scaled"], "stream"),
+            ("inram_scaled", spec["scaled"], "inram"),
+        ):
+            best = None
+            for _ in range(max(1, repeat)):
+                delta = _rss_child(name, kwargs, mode)
+                if best is None or delta < best:
+                    best = delta
+            raw[label] = best
+        attr_inram_small = raw["inram_small"] - raw["plain_small"]
+        attr_stream_scaled = raw["stream_scaled"] - raw["plain_scaled"]
+        attr_inram_scaled = raw["inram_scaled"] - raw["plain_scaled"]
+        entry = {
+            "small_kwargs": spec["small"],
+            "scaled_kwargs": spec["scaled"],
+            "attr_inram_small_kb": attr_inram_small,
+            "attr_stream_scaled_kb": attr_stream_scaled,
+            "attr_inram_scaled_kb": attr_inram_scaled,
+            "ceiling_kb": spec["ceiling_kb"],
+            "under_ceiling": attr_stream_scaled <= spec["ceiling_kb"],
+            "beats_inram_at_small": attr_stream_scaled < attr_inram_small,
+        }
+        per_app[name] = entry
+        ok = entry["under_ceiling"] and entry["beats_inram_at_small"]
+        passed = passed and ok
+        print(
+            f"{name:>10}: in-RAM@1x {attr_inram_small:>7,} KB   "
+            f"stream@4x {attr_stream_scaled:>7,} KB   "
+            f"in-RAM@4x {attr_inram_scaled:>7,} KB   "
+            f"ceiling {spec['ceiling_kb']:>6,} KB   "
+            f"{'ok' if ok else 'FAIL'}"
+        )
+    return {"apps": per_app, "passed": passed}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -198,9 +387,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "vs_interpreter speedup drops below this ratio "
                         "(needs a non-interpreter --backend and a prior "
                         "interpreter run of the same suite)")
+    parser.add_argument("--rss", action="store_true",
+                        help="measure attributable drain peak RSS on the "
+                        "paper-scale RSS_APPS inputs instead of speed; "
+                        "exit 1 if the streaming drain breaches its "
+                        "ceiling or the in-RAM drain's small-input RSS")
     args = parser.parse_args(argv)
     if args.floor is not None and args.backend == "interpreter":
         parser.error("--floor needs a non-interpreter --backend")
+    if args.rss and (args.floor is not None or args.update_baseline):
+        parser.error("--rss is standalone; drop --floor/--update-baseline")
+
+    if args.rss:
+        rss = run_rss_suite(repeat=args.repeat)
+        rss["config"] = {
+            "spill_rows": RSS_SPILL_ROWS,
+            "line_size": RSS_LINE_SIZE,
+            "modes": INSTRUMENT_MODES,
+            "repeat": args.repeat,
+            "python": sys.version.split()[0],
+        }
+        existing_rss: dict = {}
+        if os.path.exists(RESULT_FILE):
+            with open(RESULT_FILE) as f:
+                existing_rss = json.load(f)
+        existing_rss["rss"] = rss
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(RESULT_FILE, "w") as f:
+            json.dump(existing_rss, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {RESULT_FILE}")
+        if not rss["passed"]:
+            failing = [
+                name for name, app in rss["apps"].items()
+                if not (app["under_ceiling"] and app["beats_inram_at_small"])
+            ]
+            print("--rss: streaming drain RSS gate failed for: "
+                  + ", ".join(sorted(failing)), file=sys.stderr)
+            return 1
+        print("--rss: streaming drain under every ceiling and below the "
+              "in-RAM drain at current input sizes")
+        return 0
 
     apps = (
         QUICK_APPS if args.quick else {name: {} for name in APP_NAMES}

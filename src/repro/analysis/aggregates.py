@@ -1,0 +1,778 @@
+"""Streaming per-segment analyzer aggregates (the out-of-core drain).
+
+The paper's analyzers are *online* consumers: reuse distance,
+divergence and cache behaviour are computed incrementally as
+instrumentation callbacks fire, never holding a full trace. This module
+restores that property for the columnar pipeline: each analysis becomes
+a :class:`SegmentAggregate` with an ``update(segment_columns)`` /
+``merge(other)`` / ``finalize()`` contract, and the streaming drain
+(:mod:`repro.profiler.streamdrain`) pushes one spill segment at a time
+through an :class:`AnalyzerBank` of them -- peak drain memory is
+O(segment), not O(trace).
+
+Results are **byte-identical** to running the batch analyzers over a
+fully materialized trace (pinned by ``tests/test_streaming_drain.py``):
+
+* Per-CTA analyses (reuse distance, stack distance, site reuse) carry
+  per-CTA cursor state across segment boundaries -- a CTA's events
+  appear in trace order within every segment, so concatenating its
+  per-segment slices reproduces the exact per-CTA stream the batch
+  path regroups. The Fenwick trees behind the distance algorithms are
+  **compacting**: when the time axis fills, live (marked) slots are
+  renumbered 0..k-1 in order, which preserves every range count and
+  keeps state O(distinct elements) instead of O(events).
+* Histogram-shaped results are integer sums, so per-segment
+  accumulation order cannot change them.
+* Dict-ordered results (per-site tables) record a canonical
+  first-encounter key per site and sort at ``finalize()``, reproducing
+  the batch insertion order exactly -- including across shard merges.
+
+``merge()`` combines aggregates computed over *disjoint CTA/row
+partitions* (fork-parallel shards): shard partials merge
+aggregate-to-aggregate instead of trace-to-trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.cache_model import StackDistanceSummary
+from repro.analysis.divergence_branch import (
+    BranchDivergenceProfile,
+    _BlockSiteStats,
+)
+from repro.analysis.divergence_memory import (
+    MemoryDivergenceProfile,
+    _column_unique_line_counts,
+)
+from repro.analysis.arithmetic import ArithmeticProfile
+from repro.analysis.reuse_distance import (
+    INFINITE,
+    ReuseDistanceHistogram,
+    ReuseDistanceModel,
+    _column_flat_events,
+    _cta_row_segments,
+    _Fenwick,
+)
+from repro.errors import AnalysisError
+
+#: Initial (and minimum) time-axis capacity of an online Fenwick tree.
+#: Small on purpose: one cursor lives per (CTA, model) for the whole
+#: drain, and compaction resizes to 2x the live-slot count anyway.
+_INITIAL_SLOTS = 128
+
+
+class _OnlineReuse:
+    """Per-CTA reuse-distance cursor carried across segment boundaries.
+
+    Implements exactly the recurrence of
+    :func:`repro.analysis.reuse_distance.reuse_distances_of_trace`, but
+    over an unbounded stream: the Fenwick tree compacts its time axis
+    whenever it fills, so memory stays proportional to the number of
+    *distinct* elements the CTA has touched, not its event count.
+
+    The carry state is held in two parallel numpy arrays (sorted
+    element keys, packed ``slot << 1 | last_was_write`` values) rather
+    than per-element dicts: with one cursor alive per (CTA, model) for
+    the whole drain, boxed-int dict tables were the dominant term of
+    streaming peak RSS. Each ``feed`` resolves every event's previous
+    occurrence *vectorized* up front (stable argsort for within-segment
+    repeats, ``searchsorted`` into the carry map for firsts), so the
+    sequential part of the loop is only the Fenwick updates the batch
+    algorithm does anyway.
+    """
+
+    __slots__ = ("write_restart", "_tree", "_cap", "_t", "_marked",
+                 "_keys", "_vals", "reads_seen")
+
+    def __init__(self, write_restart: bool = True,
+                 initial_slots: int = _INITIAL_SLOTS):
+        self.write_restart = write_restart
+        self._cap = initial_slots
+        self._tree = _Fenwick(self._cap)
+        self._t = 0
+        #: which time slots are live (= last occurrence of an element).
+        self._marked = np.zeros(self._cap, dtype=bool)
+        #: sorted distinct elements seen so far.
+        self._keys = np.empty(0, dtype=np.int64)
+        #: per key: last slot << 1 | last access was a write.
+        self._vals = np.empty(0, dtype=np.int64)
+        #: total read events fed so far (site ordering keys use this).
+        self.reads_seen = 0
+
+    def _compact(self, slot_of_event: List[int], upto: int,
+                 carry_slot: List[int]) -> None:
+        # Renumber the marked (live) time slots to 0..k-1 in order.
+        # Range counts between live slots only ever count live slots,
+        # so an order-preserving renumbering changes no distance. Any
+        # slot still referenced by pending state is live: carry values
+        # are elements' last occurrences, and a within-segment prev is
+        # only read while it is still its element's latest access.
+        live = np.flatnonzero(self._marked[: self._t])
+        k = int(live.size)
+        self._cap = max(_INITIAL_SLOTS, 2 * k)
+        self._tree = _Fenwick(self._cap)
+        for i in range(k):
+            self._tree.add(i, 1)
+        marked = np.zeros(self._cap, dtype=bool)
+        marked[:k] = True
+        self._marked = marked
+        self._t = k
+        if self._vals.size:
+            slots = np.searchsorted(live, self._vals >> 1)
+            self._vals = (slots << 1) | (self._vals & 1)
+        if upto:
+            prefix = np.asarray(slot_of_event[:upto], dtype=np.int64)
+            slot_of_event[:upto] = np.searchsorted(live, prefix).tolist()
+        if carry_slot:
+            pending = np.asarray(carry_slot, dtype=np.int64)
+            valid = pending >= 0
+            pending[valid] = np.searchsorted(live, pending[valid])
+            carry_slot[:] = pending.tolist()
+
+    def feed(self, elements: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Advance the stream; returns the distance of every *read*."""
+        n = len(elements)
+        if not n:
+            return np.empty(0, dtype=np.int64)
+        elements = np.asarray(elements, dtype=np.int64)
+        w_int = np.asarray(writes, dtype=np.int64)
+        # Previous occurrence of each event's element, segment-local:
+        # a stable sort by element keeps equal elements in trace order.
+        order = np.argsort(elements, kind="stable")
+        sorted_el = elements[order]
+        same = np.empty(n, dtype=bool)
+        same[0] = False
+        np.equal(sorted_el[1:], sorted_el[:-1], out=same[1:])
+        prev_idx = np.full(n, -1, dtype=np.int64)
+        rep = np.flatnonzero(same)
+        prev_idx[order[rep]] = order[rep - 1]
+        # First occurrences look up the carry map instead.
+        firsts = order[~same]
+        fe = sorted_el[~same]
+        carry_slot = np.full(n, -1, dtype=np.int64)
+        carry_write = np.zeros(n, dtype=bool)
+        if self._keys.size:
+            pos = np.searchsorted(self._keys, fe)
+            hit = pos < self._keys.size
+            hit[hit] = self._keys[pos[hit]] == fe[hit]
+            packed = self._vals[pos[hit]]
+            carry_slot[firsts[hit]] = packed >> 1
+            carry_write[firsts[hit]] = (packed & 1).astype(bool)
+
+        out: List[int] = []
+        slot_of_event = [0] * n
+        prev_idx_l = prev_idx.tolist()
+        writes_l = w_int.tolist()
+        carry_slot_l = carry_slot.tolist()
+        carry_write_l = carry_write.tolist()
+        restart = self.write_restart
+        marked = self._marked
+        for i in range(n):
+            if self._t >= self._cap:
+                self._compact(slot_of_event, i, carry_slot_l)
+                marked = self._marked
+            t = self._t
+            tree = self._tree
+            j = prev_idx_l[i]
+            if j >= 0:
+                prev = slot_of_event[j]
+                prev_write = writes_l[j]
+            else:
+                prev = carry_slot_l[i]
+                prev_write = carry_write_l[i]
+            if not writes_l[i]:
+                if prev < 0 or (restart and prev_write):
+                    out.append(INFINITE)
+                else:
+                    out.append(tree.range_sum(prev + 1, t - 1))
+            if prev >= 0:
+                tree.add(prev, -1)
+                marked[prev] = False
+            tree.add(t, +1)
+            marked[t] = True
+            slot_of_event[i] = t
+            self._t = t + 1
+        self.reads_seen += len(out)
+
+        # Write back each distinct element's final (slot, was_write);
+        # stable sort keeps old entries first, so "keep the last of
+        # each duplicate run" prefers this segment's value.
+        ends = np.flatnonzero(np.append(~same[1:], True))
+        last_events = order[ends]
+        soe = np.asarray(slot_of_event, dtype=np.int64)
+        new_packed = (soe[last_events] << 1) | w_int[last_events]
+        keys = np.concatenate([self._keys, fe])
+        vals = np.concatenate([self._vals, new_packed])
+        mo = np.argsort(keys, kind="stable")
+        keys = keys[mo]
+        vals = vals[mo]
+        keep = np.append(keys[1:] != keys[:-1], True)
+        self._keys = keys[keep]
+        self._vals = vals[keep]
+        return np.asarray(out, dtype=np.int64)
+
+
+class _OnlineStack:
+    """Per-CTA LRU stack-distance cursor (write-evict holes included).
+
+    The streaming counterpart of
+    :func:`repro.analysis.cache_model.stack_distances`. Live slots are
+    resident lines *plus* write-evict holes; compaction renumbers both
+    together, preserving slot order (which the hole-sinking comparisons
+    depend on) and every range count.
+    """
+
+    __slots__ = ("_tree", "_cap", "_t", "_position", "_holes")
+
+    def __init__(self):
+        self._cap = _INITIAL_SLOTS
+        self._tree = _Fenwick(self._cap)
+        self._t = 0
+        self._position: Dict[int, int] = {}
+        self._holes: List[int] = []  # max-heap (negated slot numbers)
+
+    def _compact(self) -> None:
+        slots = sorted(
+            [(t, line) for line, t in self._position.items()]
+            + [(-h, None) for h in self._holes],
+            key=lambda s: s[0],
+        )
+        k = len(slots)
+        self._cap = max(_INITIAL_SLOTS, 2 * k)
+        self._tree = _Fenwick(self._cap)
+        holes: List[int] = []
+        for i, (_, line) in enumerate(slots):
+            self._tree.add(i, 1)
+            if line is None:
+                holes.append(-i)
+            else:
+                self._position[line] = i
+        heapq.heapify(holes)
+        self._holes = holes
+        self._t = k
+
+    def feed(self, lines: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Advance the stream; returns the stack distance per *read*."""
+        out: List[int] = []
+        position = self._position
+        holes = self._holes
+        for line, is_write in zip(lines.tolist(), writes.tolist()):
+            prev = position.get(line)
+            if is_write:
+                # Write-evict / write-no-allocate: drop the line, keep
+                # its slot as a hole (see cache_model.stack_distances).
+                if prev is not None:
+                    heapq.heappush(holes, -prev)
+                    del position[line]
+                continue
+            if self._t >= self._cap:
+                self._compact()
+                holes = self._holes
+                prev = position.get(line)
+            t = self._t
+            tree = self._tree
+            if prev is None:
+                out.append(INFINITE)
+                if holes:
+                    tree.add(-heapq.heappop(holes), -1)
+            else:
+                out.append(tree.range_sum(prev + 1, t - 1))
+                if holes and -holes[0] > prev:
+                    hole = -heapq.heapreplace(holes, -prev)
+                    tree.add(hole, -1)
+                else:
+                    tree.add(prev, -1)
+            tree.add(t, +1)
+            position[line] = t
+            self._t = t + 1
+        return np.asarray(out, dtype=np.int64)
+
+
+class SegmentAggregate:
+    """One streaming analysis: consumes column segments, merges, finalizes.
+
+    ``stream`` names the trace stream the aggregate consumes
+    ("memory", "block" or "arith"); the :class:`AnalyzerBank` routes
+    segments accordingly. ``update`` sees each kept segment exactly
+    once, in trace order; ``merge`` combines a peer computed over a
+    disjoint CTA partition (fork-parallel shards, in shard order);
+    ``finalize`` returns the batch-identical analysis result.
+    """
+
+    stream = "memory"
+
+    def update(self, cols) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "SegmentAggregate") -> None:
+        raise NotImplementedError
+
+    def finalize(self):
+        raise NotImplementedError
+
+
+def _merge_cta_states(mine: dict, theirs: dict, what: str) -> None:
+    overlap = mine.keys() & theirs.keys()
+    if overlap:
+        raise AnalysisError(
+            f"cannot merge {what} aggregates with overlapping CTAs "
+            f"(e.g. {sorted(overlap)[:3]}): shard partitions must be disjoint"
+        )
+    mine.update(theirs)
+
+
+class ReuseDistanceAggregate(SegmentAggregate):
+    """Streaming :func:`~repro.analysis.reuse_distance.reuse_distance_analysis`."""
+
+    stream = "memory"
+
+    def __init__(self, model: ReuseDistanceModel = ReuseDistanceModel.ELEMENT,
+                 line_size: int = 128, write_restart: bool = True):
+        self.model = model
+        self.line_size = line_size
+        self.write_restart = write_restart
+        self._states: Dict[int, _OnlineReuse] = {}
+        self.histogram = ReuseDistanceHistogram(model=model)
+
+    def update(self, cols) -> None:
+        for rows in _cta_row_segments(cols.cta):
+            cta = int(cols.cta[rows[0]])
+            elements, writes = _column_flat_events(
+                cols, rows, self.model, self.line_size
+            )
+            state = self._states.get(cta)
+            if state is None:
+                state = self._states[cta] = _OnlineReuse(self.write_restart)
+            self.histogram.add_samples(state.feed(elements, writes))
+
+    def merge(self, other: "ReuseDistanceAggregate") -> None:
+        _merge_cta_states(self._states, other._states, "reuse-distance")
+        self.histogram.merge(other.histogram)
+
+    def finalize(self) -> ReuseDistanceHistogram:
+        return self.histogram
+
+
+class SiteReuseAggregate(SegmentAggregate):
+    """Streaming :func:`~repro.analysis.reuse_distance.site_reuse_analysis`.
+
+    The batch result is a dict in first-encounter order: CTAs ascending,
+    then first read position within the first CTA that reads the site.
+    Each site records its minimal ``(cta, read_position)`` key and
+    ``finalize`` sorts by it, reproducing that order exactly.
+    """
+
+    stream = "memory"
+
+    def __init__(self, model: ReuseDistanceModel = ReuseDistanceModel.ELEMENT,
+                 line_size: int = 128, write_restart: bool = True):
+        self.model = model
+        self.line_size = line_size
+        self.write_restart = write_restart
+        self._states: Dict[int, _OnlineReuse] = {}
+        self._hists: Dict[Tuple[int, int], ReuseDistanceHistogram] = {}
+        self._order: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    def update(self, cols) -> None:
+        for rows in _cta_row_segments(cols.cta):
+            cta = int(cols.cta[rows[0]])
+            elements, writes = _column_flat_events(
+                cols, rows, self.model, self.line_size
+            )
+            state = self._states.get(cta)
+            if state is None:
+                state = self._states[cta] = _OnlineReuse(self.write_restart)
+            distances = state.feed(elements, writes)
+            if not distances.size:
+                continue
+            reads = ~writes
+            mask = cols.mask[rows]
+            lanes_line = np.broadcast_to(
+                cols.line[rows].astype(np.int64)[:, None], mask.shape
+            )[mask][reads]
+            lanes_col = np.broadcast_to(
+                cols.col[rows].astype(np.int64)[:, None], mask.shape
+            )[mask][reads]
+            pairs = np.stack([lanes_line, lanes_col], axis=1)
+            uniq, first, inverse = np.unique(
+                pairs, axis=0, return_index=True, return_inverse=True
+            )
+            inverse = inverse.reshape(-1)
+            by_site = np.argsort(inverse, kind="stable")
+            bounds = np.cumsum(np.bincount(inverse))[:-1]
+            groups = np.split(distances[by_site], bounds)
+            base = state.reads_seen - distances.size
+            for j in range(len(uniq)):
+                key = (int(uniq[j, 0]), int(uniq[j, 1]))
+                hist = self._hists.get(key)
+                if hist is None:
+                    hist = ReuseDistanceHistogram(model=self.model)
+                    self._hists[key] = hist
+                order_key = (cta, base + int(first[j]))
+                known = self._order.get(key)
+                if known is None or order_key < known:
+                    self._order[key] = order_key
+                hist.add_samples(groups[j])
+
+    def merge(self, other: "SiteReuseAggregate") -> None:
+        _merge_cta_states(self._states, other._states, "site-reuse")
+        for key, hist in other._hists.items():
+            mine = self._hists.get(key)
+            if mine is None:
+                self._hists[key] = hist
+            else:
+                mine.merge(hist)
+            known = self._order.get(key)
+            if known is None or other._order[key] < known:
+                self._order[key] = other._order[key]
+
+    def finalize(self) -> Dict[Tuple[int, int], ReuseDistanceHistogram]:
+        ordered = sorted(self._hists, key=lambda key: self._order[key])
+        return {key: self._hists[key] for key in ordered}
+
+
+class StackDistanceAggregate(SegmentAggregate):
+    """Streaming :func:`~repro.analysis.cache_model.profile_stack_distances`.
+
+    The batch path returns the raw sample list; out of core that would
+    defeat the point, so this aggregate folds the samples into a
+    :class:`~repro.analysis.cache_model.StackDistanceSummary` -- an
+    exact distance->count table that reproduces the same
+    :class:`~repro.analysis.cache_model.HitRateCurve` float-for-float.
+    """
+
+    stream = "memory"
+
+    def __init__(self, line_size: int = 128):
+        self.line_size = line_size
+        self._states: Dict[int, _OnlineStack] = {}
+        self._counts: Counter = Counter()
+        self._infinite = 0
+
+    def update(self, cols) -> None:
+        for rows in _cta_row_segments(cols.cta):
+            cta = int(cols.cta[rows[0]])
+            lines, writes = _column_flat_events(
+                cols, rows, ReuseDistanceModel.CACHE_LINE, self.line_size
+            )
+            state = self._states.get(cta)
+            if state is None:
+                state = self._states[cta] = _OnlineStack()
+            distances = state.feed(lines, writes)
+            if not distances.size:
+                continue
+            finite = distances[distances != INFINITE]
+            self._infinite += int(distances.size - finite.size)
+            if finite.size:
+                vals, counts = np.unique(finite, return_counts=True)
+                for v, c in zip(vals.tolist(), counts.tolist()):
+                    self._counts[v] += c
+
+    def merge(self, other: "StackDistanceAggregate") -> None:
+        _merge_cta_states(self._states, other._states, "stack-distance")
+        self._counts.update(other._counts)
+        self._infinite += other._infinite
+
+    def finalize(self) -> StackDistanceSummary:
+        return StackDistanceSummary(
+            counts=self._counts,
+            infinite=self._infinite,
+            line_size=self.line_size,
+        )
+
+
+class MemoryDivergenceAggregate(SegmentAggregate):
+    """Streaming :func:`~repro.analysis.divergence_memory.memory_divergence_analysis`."""
+
+    stream = "memory"
+
+    def __init__(self, line_size: int):
+        self.profile = MemoryDivergenceProfile(line_size=line_size)
+
+    def update(self, cols) -> None:
+        counts = _column_unique_line_counts(cols, self.profile.line_size)
+        if counts.size:
+            for k, c in enumerate(np.bincount(counts).tolist()):
+                if c:
+                    self.profile.counts[k] += c
+
+    def merge(self, other: "MemoryDivergenceAggregate") -> None:
+        self.profile.merge(other.profile)
+
+    def finalize(self) -> MemoryDivergenceProfile:
+        return self.profile
+
+
+class DivergentSitesAggregate(SegmentAggregate):
+    """Streaming :func:`~repro.analysis.divergence_memory.divergent_sites`.
+
+    First-encounter dict order is reproduced via the global row index of
+    each site's first divergent access (a running row offset makes the
+    per-segment indices global; ``merge`` shifts the peer's offsets past
+    this shard's rows, matching the concatenated trace).
+    """
+
+    stream = "memory"
+
+    def __init__(self, line_size: int, threshold: int = 2):
+        self.line_size = line_size
+        self.threshold = threshold
+        self._counts: Dict[Tuple[int, int], int] = {}
+        self._first: Dict[Tuple[int, int], int] = {}
+        self._rows_seen = 0
+
+    def update(self, cols) -> None:
+        counts = _column_unique_line_counts(cols, self.line_size)
+        sel = np.flatnonzero(counts >= self.threshold)
+        if sel.size:
+            pairs = np.stack(
+                [
+                    cols.line[sel].astype(np.int64),
+                    cols.col[sel].astype(np.int64),
+                ],
+                axis=1,
+            )
+            uniq, first, cnt = np.unique(
+                pairs, axis=0, return_index=True, return_counts=True
+            )
+            for j in range(len(uniq)):
+                key = (int(uniq[j, 0]), int(uniq[j, 1]))
+                row = self._rows_seen + int(sel[first[j]])
+                known = self._first.get(key)
+                if known is None or row < known:
+                    self._first[key] = row
+                self._counts[key] = self._counts.get(key, 0) + int(cnt[j])
+        self._rows_seen += len(cols)
+
+    def merge(self, other: "DivergentSitesAggregate") -> None:
+        for key, count in other._counts.items():
+            self._counts[key] = self._counts.get(key, 0) + count
+            row = self._rows_seen + other._first[key]
+            known = self._first.get(key)
+            if known is None or row < known:
+                self._first[key] = row
+        self._rows_seen += other._rows_seen
+
+    def finalize(self) -> Dict[Tuple[int, int], int]:
+        ordered = sorted(self._counts, key=lambda key: self._first[key])
+        return {key: self._counts[key] for key in ordered}
+
+
+class BranchDivergenceAggregate(SegmentAggregate):
+    """Streaming :func:`~repro.analysis.divergence_branch.branch_divergence_analysis`.
+
+    ``per_block`` insertion order is trace first-encounter order; the
+    segments arrive in trace order (and shards merge in shard order),
+    so plain sequential insertion reproduces it.
+    """
+
+    stream = "block"
+
+    def __init__(self):
+        self.profile = BranchDivergenceProfile()
+
+    def update(self, cols) -> None:
+        n = len(cols)
+        if not n:
+            return
+        profile = self.profile
+        profile.total_blocks += n
+        divergent = np.asarray(cols.active_lanes) < np.asarray(
+            cols.resident_lanes
+        )
+        profile.divergent_blocks += int(divergent.sum())
+        per_block = profile.per_block
+        lines = cols.line
+        flags = divergent.tolist()
+        for i, name in enumerate(cols.block_names):
+            stats = per_block.get(name)
+            if stats is None:
+                stats = _BlockSiteStats(line=int(lines[i]))
+                per_block[name] = stats
+            stats.executions += 1
+            if flags[i]:
+                stats.divergent += 1
+
+    def merge(self, other: "BranchDivergenceAggregate") -> None:
+        self.profile.merge(other.profile)
+
+    def finalize(self) -> BranchDivergenceProfile:
+        return self.profile
+
+
+class ArithmeticAggregate(SegmentAggregate):
+    """Streaming :func:`~repro.analysis.arithmetic.arithmetic_analysis`."""
+
+    stream = "arith"
+
+    def __init__(self):
+        self.profile = ArithmeticProfile()
+
+    def update(self, cols) -> None:
+        if not len(cols):
+            return
+        lanes = np.asarray(cols.active_lanes, dtype=np.int64)
+        is_float = np.asarray(cols.is_float, dtype=bool)
+        self.profile.lane_flops += int(lanes[is_float].sum())
+        self.profile.lane_intops += int(lanes[~is_float].sum())
+        by_opcode = self.profile.by_opcode
+        by_line = self.profile.by_line
+        for opcode, line, n in zip(
+            cols.opcodes, cols.line.tolist(), lanes.tolist()
+        ):
+            by_opcode[opcode] += n
+            by_line[line] += n
+
+    def merge(self, other: "ArithmeticAggregate") -> None:
+        self.profile.lane_flops += other.profile.lane_flops
+        self.profile.lane_intops += other.profile.lane_intops
+        self.profile.by_opcode.update(other.profile.by_opcode)
+        self.profile.by_line.update(other.profile.by_line)
+
+    def finalize(self) -> ArithmeticProfile:
+        return self.profile
+
+
+class AnalyzerBank:
+    """A named set of aggregates fed by one streaming drain.
+
+    The drain calls ``update_memory`` / ``update_block`` /
+    ``update_arith`` once per kept segment; shard banks merge with
+    :meth:`merge` (in shard order); :meth:`result` finalizes lazily and
+    caches, so analyses can be read repeatedly.
+    """
+
+    def __init__(self, aggregates: Dict[str, SegmentAggregate]):
+        self.aggregates = dict(aggregates)
+        self._finalized: Dict[str, object] = {}
+        self._by_stream: Dict[str, List[SegmentAggregate]] = {
+            "memory": [], "block": [], "arith": [],
+        }
+        for agg in self.aggregates.values():
+            self._by_stream[agg.stream].append(agg)
+
+    def update_memory(self, cols) -> None:
+        for agg in self._by_stream["memory"]:
+            agg.update(cols)
+
+    def update_block(self, cols) -> None:
+        for agg in self._by_stream["block"]:
+            agg.update(cols)
+
+    def update_arith(self, cols) -> None:
+        for agg in self._by_stream["arith"]:
+            agg.update(cols)
+
+    def merge(self, other: "AnalyzerBank") -> None:
+        if self._finalized or other._finalized:
+            raise AnalysisError("cannot merge a finalized analyzer bank")
+        if self.aggregates.keys() != other.aggregates.keys():
+            raise AnalysisError(
+                "cannot merge analyzer banks with different aggregate sets: "
+                f"{sorted(self.aggregates)} vs {sorted(other.aggregates)}"
+            )
+        for name, agg in self.aggregates.items():
+            agg.merge(other.aggregates[name])
+
+    def result(self, name: str):
+        if name in self._finalized:
+            return self._finalized[name]
+        if name not in self.aggregates:
+            raise AnalysisError(
+                f"no {name!r} aggregate in this streaming plan "
+                f"(have: {', '.join(sorted(self._names()))})"
+            )
+        self._finalized[name] = self.aggregates[name].finalize()
+        return self._finalized[name]
+
+    def _names(self) -> List[str]:
+        return sorted(set(self.aggregates) | set(self._finalized))
+
+    def results(self) -> Dict[str, object]:
+        return {name: self.result(name) for name in self._names()}
+
+    def seal(self) -> None:
+        """Finalize every result and release the cursor state.
+
+        A profile retains its bank for the lifetime of the session, and
+        the drain-time cursor state (per-CTA Fenwick trees, carry maps)
+        is much larger than the finalized results (histograms,
+        counters). Nothing reads aggregate internals after the drain --
+        cross-profile combination happens on finalized results
+        (``ReuseDistanceHistogram.merge`` etc.), never bank-to-bank --
+        so ``kernel_end`` seals the bank once streaming completes and
+        only one launch's cursors are ever alive at a time.
+        """
+        for name in list(self.aggregates):
+            self.result(name)
+        self.aggregates = {}
+        self._by_stream = {"memory": [], "block": [], "arith": []}
+
+
+class AnalyzerPlan:
+    """A recipe for the aggregates a streaming drain instantiates.
+
+    A plan is shared across launches (and inherited by forked shard
+    workers); every ``kernel_end`` creates a fresh bank from it.
+    """
+
+    def __init__(self, factories: Dict[str, Callable[[], SegmentAggregate]]):
+        self.factories = dict(factories)
+
+    def create_bank(self) -> AnalyzerBank:
+        return AnalyzerBank(
+            {name: make() for name, make in self.factories.items()}
+        )
+
+
+def advisor_plan(
+    line_size: int,
+    modes: Sequence[str] = ("memory", "blocks"),
+    write_restart: bool = True,
+) -> AnalyzerPlan:
+    """The aggregates :class:`~repro.optim.advisor.CUDAAdvisor` needs."""
+    factories: Dict[str, Callable[[], SegmentAggregate]] = {}
+    if "memory" in modes:
+        factories["reuse_element"] = lambda: ReuseDistanceAggregate(
+            ReuseDistanceModel.ELEMENT, line_size, write_restart
+        )
+        factories["reuse_cache_line"] = lambda: ReuseDistanceAggregate(
+            ReuseDistanceModel.CACHE_LINE, line_size, write_restart
+        )
+        factories["memory_divergence"] = lambda: MemoryDivergenceAggregate(
+            line_size
+        )
+    if "blocks" in modes:
+        factories["branch_divergence"] = BranchDivergenceAggregate
+    if "arith" in modes:
+        factories["arithmetic"] = ArithmeticAggregate
+    return AnalyzerPlan(factories)
+
+
+def full_plan(
+    line_size: int,
+    modes: Sequence[str] = ("memory", "blocks", "arith"),
+    write_restart: bool = True,
+    divergence_threshold: int = 2,
+) -> AnalyzerPlan:
+    """Every streaming analysis, including the per-site debugging views."""
+    plan = advisor_plan(line_size, modes, write_restart)
+    if "memory" in modes:
+        plan.factories["site_reuse_element"] = lambda: SiteReuseAggregate(
+            ReuseDistanceModel.ELEMENT, line_size, write_restart
+        )
+        plan.factories["site_reuse_cache_line"] = lambda: SiteReuseAggregate(
+            ReuseDistanceModel.CACHE_LINE, line_size, write_restart
+        )
+        plan.factories["divergent_sites"] = lambda: DivergentSitesAggregate(
+            line_size, divergence_threshold
+        )
+        plan.factories["stack_distance"] = lambda: StackDistanceAggregate(
+            line_size
+        )
+    return plan

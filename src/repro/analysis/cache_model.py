@@ -24,7 +24,9 @@ model). This module implements that use case:
 
 from __future__ import annotations
 
+import bisect
 import heapq
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -114,12 +116,60 @@ class HitRateCurve:
         return "\n".join(lines)
 
 
+@dataclass
+class StackDistanceSummary:
+    """Exact stack-distance histogram: distance -> number of reads.
+
+    The streaming drain's compact replacement for the raw sample list
+    (:class:`~repro.analysis.aggregates.StackDistanceAggregate` emits
+    one): it holds every finite distance with its multiplicity plus the
+    ∞ count, which is all :func:`hit_rate_curve` ever consumes -- so
+    the derived curve is float-for-float identical to the in-RAM path,
+    at O(distinct distances) memory instead of O(reads).
+    """
+
+    counts: Counter  # finite stack distance -> read count
+    infinite: int = 0
+    line_size: int = 128
+
+    @property
+    def reads(self) -> int:
+        return self.infinite + sum(self.counts.values())
+
+    def curve(self, capacities: Sequence[int],
+              line_size: Optional[int] = None) -> HitRateCurve:
+        """Same mapping as :func:`hit_rate_curve` over the raw samples:
+        a read with finite distance d hits the first capacity > d."""
+        capacities = sorted(capacities)
+        counts = [0] * len(capacities)
+        reads = self.reads
+        for d, c in sorted(self.counts.items()):
+            i = bisect.bisect_right(capacities, d)
+            if i < len(capacities):
+                counts[i] += c
+        running = 0
+        rates: List[float] = []
+        for count in counts:
+            running += count
+            rates.append(running / reads if reads else 0.0)
+        return HitRateCurve(
+            list(capacities), rates, reads,
+            self.line_size if line_size is None else line_size,
+        )
+
+
 def hit_rate_curve(
     distance_samples: Iterable[int],
     capacities: Sequence[int],
     line_size: int = 128,
 ) -> HitRateCurve:
-    """Evaluate every candidate capacity from precomputed distances."""
+    """Evaluate every candidate capacity from precomputed distances.
+
+    Accepts either an iterable of raw distance samples or a
+    :class:`StackDistanceSummary` (the streaming drain's histogram).
+    """
+    if isinstance(distance_samples, StackDistanceSummary):
+        return distance_samples.curve(capacities, line_size)
     capacities = sorted(capacities)
     counts = [0] * len(capacities)
     reads = 0

@@ -112,6 +112,32 @@ def render_jit_cache(app: str, stats: dict) -> str:
     return "\n".join(lines)
 
 
+def render_stream_stats(app: str, profiles: Sequence) -> str:
+    """Streaming-drain counters for one profiled run (--streaming-drain).
+
+    One row per kernel instance that drained through the analyzer bank:
+    segments streamed, the peak number of trace rows resident during
+    the drain (the O(segment) guarantee, vs total kept rows), and the
+    rows dropped (capacity, sampling clip, corrupt segments).
+    """
+    lines = [
+        f"Streaming drain -- {app}",
+        f"{'kernel':<20} {'segments':>9} {'peak rows':>10} "
+        f"{'kept rows':>10} {'dropped':>9}",
+    ]
+    for p in profiles:
+        if p.stream_stats is None:
+            continue
+        s = p.stream_stats
+        kept = s["memory_rows"] + s["block_rows"] + s["arith_rows"]
+        lines.append(
+            f"{p.kernel:<20} {s['segments_streamed']:>9} "
+            f"{s['peak_resident_rows']:>10} {kept:>10} "
+            f"{p.dropped_records:>9}"
+        )
+    return "\n".join(lines)
+
+
 def render_bypass_table(
     arch_label: str,
     rows: Sequence[Tuple[str, float, float, int, int]],

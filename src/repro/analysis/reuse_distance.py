@@ -57,10 +57,16 @@ _BUCKET_LOWS = np.array([lo for _, lo, _ in PAPER_BUCKETS], dtype=np.int64)
 
 
 class _Fenwick:
-    """Fenwick (binary indexed) tree for prefix sums over access times."""
+    """Fenwick (binary indexed) tree for prefix sums over access times.
+
+    int32 cells: every count is bounded by the number of marked time
+    slots, which is bounded by the trace length of one CTA — far below
+    2^31. The streaming drain keeps one tree per (CTA, model) alive
+    for a whole kernel, so cell width is a real memory term.
+    """
 
     def __init__(self, size: int):
-        self._tree = np.zeros(size + 1, dtype=np.int64)
+        self._tree = np.zeros(size + 1, dtype=np.int32)
         self.size = size
 
     def add(self, index: int, delta: int) -> None:

@@ -23,6 +23,7 @@ from repro.analysis.report import (
     render_divergence_distribution,
     render_jit_cache,
     render_reuse_histogram,
+    render_stream_stats,
 )
 from repro.apps import APP_NAMES, TABLE2, build_app
 from repro.backend import lower_module_to_ptx
@@ -118,6 +119,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rows per spill segment (needs --spill-dir; default 65536)",
     )
     profile.add_argument(
+        "--streaming-drain", action="store_true",
+        help="drain traces through streaming analyzer aggregates "
+        "(O(segment) peak memory; raw records are not retained)",
+    )
+    profile.add_argument(
         "--verbose", action="store_true",
         help="print execution internals (JIT trace-cache counters, ...)",
     )
@@ -181,6 +187,7 @@ def _cmd_profile(args) -> int:
         failure_policy=args.failure_policy,
         spill_dir=args.spill_dir,
         spill_rows=args.spill_rows or 65536,
+        streaming_drain=args.streaming_drain,
     )
     report = advisor.profile(build_app(_check_app(args.app)))
 
@@ -216,6 +223,10 @@ def _cmd_profile(args) -> int:
     if args.verbose and report.jit_cache is not None:
         print("### jit trace cache")
         print(render_jit_cache(args.app, report.jit_cache))
+        print()
+    if args.verbose and any(p.stream_stats is not None for p in profiles):
+        print("### streaming drain")
+        print(render_stream_stats(args.app, profiles))
         print()
     if len(report.session.profiles) > 1:
         from repro.analysis.statistics import (

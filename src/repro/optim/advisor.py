@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import AnalysisError
+from repro.analysis.aggregates import advisor_plan
 from repro.analysis.arithmetic import ArithmeticProfile, arithmetic_analysis
 from repro.analysis.divergence_branch import (
     BranchDivergenceProfile,
@@ -167,6 +168,25 @@ class AdvisorReport:
                 "spilled_records": spilled,
                 "corrupt_records": corrupt,
             }
+        stream_stats = [
+            p.stream_stats
+            for p in self.session.profiles
+            if p.stream_stats is not None
+        ]
+        if stream_stats:
+            out["streaming_drain"] = {
+                "segments_streamed": sum(
+                    s["segments_streamed"] for s in stream_stats
+                ),
+                "peak_resident_rows": max(
+                    s["peak_resident_rows"] for s in stream_stats
+                ),
+                "rows_kept": sum(
+                    s["memory_rows"] + s["block_rows"] + s["arith_rows"]
+                    for s in stream_stats
+                ),
+                "rows_dropped": dropped,
+            }
         supervisor = getattr(
             getattr(self.session.runtime, "device", None), "_supervisor", None
         )
@@ -246,6 +266,7 @@ class CUDAAdvisor:
         failure_policy: Optional[str] = None,
         spill_dir: Optional[str] = None,
         spill_rows: int = 65536,
+        streaming_drain: bool = False,
     ):
         self.arch = arch
         self.modes = tuple(modes)
@@ -260,6 +281,13 @@ class CUDAAdvisor:
         self.failure_policy = failure_policy
         self.spill_dir = spill_dir
         self.spill_rows = spill_rows
+        #: stream the kernel-exit drain through per-segment analyzer
+        #: aggregates instead of materializing the trace: peak drain
+        #: memory drops to O(spill_rows) and every analysis result
+        #: stays byte-identical (see docs/performance.md). Raw records
+        #: are not retained, so leave this off when post-hoc record
+        #: inspection is needed.
+        self.streaming_drain = streaming_drain
 
     # -- compilation helpers ---------------------------------------------------
     def _compile(self, program: GPUProgram, instrument: bool,
@@ -305,6 +333,11 @@ class CUDAAdvisor:
             sample_rate=self.sample_rate,
             spill_dir=self.spill_dir,
             spill_rows=self.spill_rows,
+            streaming=(
+                advisor_plan(self.arch.l1_line_size, self.modes)
+                if self.streaming_drain
+                else None
+            ),
         )
         rt = self._fresh_runtime(profiler=session)
         module = self._compile(program, instrument=True)
@@ -341,9 +374,16 @@ class CUDAAdvisor:
             )
             merged_md = MemoryDivergenceProfile(line_size=self.arch.l1_line_size)
             for profile in session.profiles:
-                merged_md.merge(
-                    memory_divergence_analysis(profile, self.arch.l1_line_size)
-                )
+                if profile.aggregates is not None:
+                    merged_md.merge(
+                        profile.aggregates.result("memory_divergence")
+                    )
+                else:
+                    merged_md.merge(
+                        memory_divergence_analysis(
+                            profile, self.arch.l1_line_size
+                        )
+                    )
             report.memory_divergence = merged_md
 
             num_ctas = max(p.num_ctas for p in session.profiles)
@@ -357,12 +397,20 @@ class CUDAAdvisor:
         if "blocks" in self.modes and session.profiles:
             merged_bd = BranchDivergenceProfile()
             for profile in session.profiles:
-                merged_bd.merge(branch_divergence_analysis(profile))
+                if profile.aggregates is not None:
+                    merged_bd.merge(
+                        profile.aggregates.result("branch_divergence")
+                    )
+                else:
+                    merged_bd.merge(branch_divergence_analysis(profile))
             report.branch_divergence = merged_bd
         if "arith" in self.modes and session.profiles:
             merged = ArithmeticProfile()
             for profile in session.profiles:
-                one = arithmetic_analysis(profile)
+                if profile.aggregates is not None:
+                    one = profile.aggregates.result("arithmetic")
+                else:
+                    one = arithmetic_analysis(profile)
                 merged.lane_flops += one.lane_flops
                 merged.lane_intops += one.lane_intops
                 merged.by_opcode.update(one.by_opcode)
@@ -381,12 +429,20 @@ class CUDAAdvisor:
         self, session: ProfilingSession, model: ReuseDistanceModel
     ) -> ReuseDistanceHistogram:
         merged = ReuseDistanceHistogram(model=model)
+        name = (
+            "reuse_element"
+            if model is ReuseDistanceModel.ELEMENT
+            else "reuse_cache_line"
+        )
         for profile in session.profiles:
-            merged.merge(
-                reuse_distance_analysis(
-                    profile, model=model, line_size=self.arch.l1_line_size
+            if profile.aggregates is not None:
+                merged.merge(profile.aggregates.result(name))
+            else:
+                merged.merge(
+                    reuse_distance_analysis(
+                        profile, model=model, line_size=self.arch.l1_line_size
+                    )
                 )
-            )
         return merged
 
     # -- the Figure 6/7 experiment ------------------------------------------------------

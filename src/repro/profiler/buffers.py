@@ -165,30 +165,82 @@ class _ColumnarBase:
         self._n = 0
         self._alloc = 0
 
-    def _read_segments(self) -> List[object]:
-        """Load all spilled payloads in write order; handles corruption.
+    def _stream_read_segments(self):
+        """Yield spilled payloads in write order, one segment at a time.
 
-        ``on_corrupt="raise"`` propagates
-        :class:`~repro.errors.TraceCorruptionError`; ``"drop"`` counts
-        the segment's rows (known from the clear-text header) as
-        dropped and skips it.
+        Each segment file is **deleted as soon as it is read** (or
+        found corrupt), so disk usage shrinks as the drain progresses
+        instead of doubling as RAM fills. ``on_corrupt="raise"``
+        propagates :class:`~repro.errors.TraceCorruptionError`;
+        ``"drop"`` counts the segment's rows (known from the clear-text
+        header) as dropped -- per segment, as it streams -- and skips
+        it. Abandoning the generator discards the remaining files.
         """
-        payloads: List[object] = []
+        segments, self._segments = self._segments, []
         try:
-            for path in self._segments:
+            while segments:
+                path = segments.pop(0)
                 try:
-                    payloads.append(read_segment(path))
+                    payload = read_segment(path)
                 except TraceCorruptionError as exc:
                     if self.spill is None or self.spill.on_corrupt == "raise":
                         raise
                     self.corrupt_dropped += exc.rows
                     self.dropped += exc.rows
+                    continue
+                finally:
+                    discard_segment(path)
+                yield payload
         finally:
-            for path in self._segments:
+            for path in segments:
                 discard_segment(path)
-            self._segments = []
             self._spilled_rows = 0
-        return payloads
+
+    def _read_segments(self) -> List[object]:
+        """All spilled payloads in write order (the in-RAM drain)."""
+        return list(self._stream_read_segments())
+
+    # -- streaming drain ----------------------------------------------------
+    def _view(self, payload):
+        """Wrap one segment payload as a column view (per buffer kind)."""
+        raise NotImplementedError
+
+    def stream_segments(self):
+        """Yield drained column views one spill segment at a time.
+
+        The streaming counterpart of ``drain()``: disk segments first
+        (each file deleted as soon as it is consumed), then the
+        in-memory tail; the buffer is empty afterwards. Concatenating
+        the yielded views reproduces ``drain()`` byte-identically.
+        """
+        for payload in self._stream_read_segments():
+            yield self._view(payload)
+        n = self._n
+        tail = self._spill_payload() if self._cols is not None and n else None
+        self._reset_memory()
+        self._n = 0
+        self._alloc = 0
+        if tail is not None:
+            yield self._view(tail)
+
+    def export_stream_state(self) -> dict:
+        """Detach the spill-segment paths and in-memory tail (pickleable).
+
+        Used by streaming shard workers: instead of draining the trace
+        into RAM to ship it, the worker hands over its segment *files*
+        plus the tail columns, and the parent streams them through its
+        analyzer bank. The buffer is empty afterwards; the consumer
+        owns (and deletes) the segment files.
+        """
+        paths, self._segments = self._segments, []
+        tail = None
+        if self._cols is not None and self._n:
+            tail = self._view(self._spill_payload())
+        self._reset_memory()
+        self._n = 0
+        self._alloc = 0
+        self._spilled_rows = 0
+        return {"paths": paths, "tail": tail}
 
 
 class MemoryColumns:
@@ -265,6 +317,9 @@ class ColumnarMemoryBuffer(_ColumnarBase):
 
     def _reset_memory(self) -> None:
         self._cols = None
+
+    def _view(self, payload) -> MemoryColumns:
+        return MemoryColumns(*payload)
 
     def _grow(self, warp_size: int) -> None:
         new = self._next_alloc()
@@ -411,6 +466,16 @@ class BlockColumns:
     def __iter__(self):
         return (self.record(i) for i in range(len(self)))
 
+    def take(self, rows) -> "BlockColumns":
+        """Row-subset view (numpy index/mask); seqs keep their values."""
+        idx = np.flatnonzero(rows) if np.asarray(rows).dtype == bool else rows
+        return BlockColumns(
+            self.seq[idx], self.cta[idx], self.warp_in_cta[idx],
+            self.line[idx], self.col[idx], self.active_lanes[idx],
+            self.resident_lanes[idx], self.call_path_id[idx],
+            [self.block_names[i] for i in idx],
+        )
+
 
 class ColumnarBlockBuffer(_ColumnarBase):
     """SoA append buffer for instrumented basic-block events."""
@@ -432,6 +497,9 @@ class ColumnarBlockBuffer(_ColumnarBase):
     def _reset_memory(self) -> None:
         self._cols = None
         self._names = []
+
+    def _view(self, payload) -> BlockColumns:
+        return BlockColumns(*payload[0], payload[1])
 
     def _grow(self) -> None:
         new = self._next_alloc()
@@ -596,6 +664,9 @@ class ColumnarArithBuffer(_ColumnarBase):
     def _reset_memory(self) -> None:
         self._cols = None
         self._opcodes = []
+
+    def _view(self, payload) -> ArithColumns:
+        return ArithColumns(*payload[0], payload[1])
 
     def _grow(self) -> None:
         new = self._next_alloc()

@@ -26,6 +26,7 @@ from repro.profiler.buffers import (
 from repro.reliability.spill import SpillConfig
 from repro.reliability.supervisor import TRACE_SEGMENT_CORRUPT
 from repro.profiler.codecentric import CallPathRegistry, GPUPathEntry
+from repro.profiler.streamdrain import StreamDrain, StreamedRecords
 from repro.profiler.records import (
     ArithRecord,
     BlockRecord,
@@ -60,6 +61,13 @@ class KernelProfile:
     #: segments (already included in ``dropped_records``).
     spilled_records: int = 0
     corrupt_records: int = 0
+    #: streaming drain only: the finalized-on-demand
+    #: :class:`~repro.analysis.aggregates.AnalyzerBank` holding every
+    #: analyzer's partial aggregate (the records above are
+    #: :class:`~repro.profiler.streamdrain.StreamedRecords`
+    #: placeholders), plus the drain's counters for reporting.
+    aggregates: object = None
+    stream_stats: Optional[dict] = None
 
     # -- convenience -----------------------------------------------------------
     def memory_records_by_cta(self) -> Dict[int, List[MemoryAccessRecord]]:
@@ -82,6 +90,7 @@ class HookRuntime:
         buffer_capacity: Optional[int] = None,
         sample_rate: int = 1,
         spill: Optional[SpillConfig] = None,
+        streaming=None,
     ):
         if sample_rate < 1:
             raise ProfilerError("sample_rate must be >= 1")
@@ -99,6 +108,14 @@ class HookRuntime:
         #: capacity is applied to the filtered rows at kernel_end.
         self.sample_rate = sample_rate
         self._capacity = buffer_capacity
+        #: an :class:`~repro.analysis.aggregates.AnalyzerPlan` (or None):
+        #: when set, kernel_end streams spill segments through the
+        #: plan's analyzer bank instead of materializing the trace, and
+        #: the profile carries ``aggregates`` + StreamedRecords
+        #: placeholders. The plan itself is never pickled -- shard
+        #: workers inherit it through fork.
+        self._streaming = streaming
+        self._shard_states: List[dict] = []
 
         # -- reliability wiring (docs/reliability.md) ---------------------
         # The device's failure policy picks the drain-time behaviour for
@@ -159,6 +176,9 @@ class HookRuntime:
             raise ProfilerError(f"unknown hook @{name}")
 
     def kernel_end(self, launch_result) -> None:
+        if self._streaming is not None:
+            self._kernel_end_streaming(launch_result)
+            return
         info = self._launch_info or {}
         memory = self.memory_buffer.drain()
         arith = self.arith_buffer.drain()
@@ -200,6 +220,82 @@ class HookRuntime:
         if self.on_complete is not None:
             self.on_complete(self.profile)
 
+    def _kernel_end_streaming(self, launch_result) -> None:
+        """Drain through the analyzer bank one spill segment at a time.
+
+        Peak drain memory is O(segment): disk segments (own and
+        shard-relayed) stream through the aggregates and are deleted as
+        consumed; the trace never concatenates. Stride sampling and
+        capacity are applied inside the drain with a running rank /
+        keep-first cursor so the kept row set -- and therefore every
+        aggregate -- is byte-identical to the in-RAM drain.
+        """
+        info = self._launch_info or {}
+        bank = self._streaming.create_bank()
+        on_corrupt = "drop" if self._spill is None else self._spill.on_corrupt
+        drain = StreamDrain(
+            bank, self.sample_rate, self._capacity, on_corrupt
+        )
+        # Shard states first, in SM order (matching absorb_shards), then
+        # this process's own buffers (non-empty only for serial runs).
+        shard_dropped = shard_spilled = shard_corrupt = 0
+        states, self._shard_states = self._shard_states, []
+        for state in states:
+            acct = state["accounting"]
+            shard_dropped += acct["dropped"]
+            shard_spilled += acct["spilled"]
+            shard_corrupt += acct["corrupt"]
+            if "bank" in state:
+                # Exact aggregate-to-aggregate merge (no sampling or
+                # capacity in play -- see export_shard).
+                bank.merge(state["bank"])
+                drain.stats.absorb(state["stats"])
+            else:
+                drain.feed_shard_state(state)
+        drain.feed_buffers(
+            self.memory_buffer, self.block_buffer, self.arith_buffer
+        )
+        buffers = (self.memory_buffer, self.block_buffer, self.arith_buffer)
+        corrupt = (
+            sum(b.corrupt_dropped for b in buffers)
+            + drain.corrupt_rows
+            + shard_corrupt
+        )
+        if corrupt:
+            self._report_corruption(corrupt)
+        # Finalize results and release cursor state: the profile keeps
+        # the bank for the session, so only one launch's drain-time
+        # state is ever alive at a time.
+        bank.seal()
+        stats = drain.stats
+        self.profile = KernelProfile(
+            kernel=self.kernel,
+            host_call_path=self.host_call_path,
+            launch_site=self.launch_site,
+            grid=info.get("grid", (0, 0, 0)),
+            block=info.get("block", (0, 0, 0)),
+            num_ctas=info.get("num_ctas", 0),
+            warps_per_cta=info.get("warps_per_cta", 0),
+            memory_records=StreamedRecords("memory", stats.memory_rows),
+            block_records=StreamedRecords("block", stats.block_rows),
+            arith_records=StreamedRecords("arith", stats.arith_rows),
+            call_paths=self.call_paths,
+            functions_by_id=self.image.functions_by_id,
+            dropped_records=(
+                sum(b.dropped for b in buffers)  # includes own corrupt
+                + drain.clipped
+                + drain.corrupt_rows
+                + shard_dropped
+            ),
+            launch_result=launch_result,
+            spilled_records=sum(b.spilled for b in buffers) + shard_spilled,
+            corrupt_records=corrupt,
+            aggregates=bank,
+            stream_stats=stats.as_dict(),
+        )
+        if self.on_complete is not None:
+            self.on_complete(self.profile)
+
     def _report_corruption(self, rows: int) -> None:
         """Surface dropped-corrupt-segment rows through the supervisor."""
         device = getattr(self.image, "device", None)
@@ -230,9 +326,12 @@ class HookRuntime:
         self._seq = 0
         self._warp_stacks = {}
         self._warp_path_ids = {}
+        self._shard_states = []
 
     def export_shard(self) -> dict:
         """Pickleable trace state a shard worker sends back."""
+        if self._streaming is not None:
+            return self._export_shard_streaming()
         return {
             "memory": self.memory_buffer.drain(),
             "block": self.block_buffer.drain(),
@@ -240,6 +339,46 @@ class HookRuntime:
             "paths": list(self.call_paths._paths),
             "seq_total": self._seq,
         }
+
+    def _export_shard_streaming(self) -> dict:
+        """Aggregate (or relay) state a streaming shard worker ships.
+
+        With no sampling and no capacity, the kept row set of a shard
+        is exactly its trace, so the worker streams its own buffers
+        through a fresh analyzer bank and ships the *bank* -- the
+        parent merges aggregate-to-aggregate, never touching rows.
+        Otherwise (stride phase / keep-first cutoff depend on
+        predecessor shards' row counts) the worker relays its spill
+        segment **files** plus the in-memory tails, and the parent
+        streams them through its own drain with running cursors.
+        """
+        buffers = (self.memory_buffer, self.block_buffer, self.arith_buffer)
+        state = {
+            "paths": list(self.call_paths._paths),
+            "seq_total": self._seq,
+        }
+        if self.sample_rate == 1 and self._capacity is None:
+            bank = self._streaming.create_bank()
+            on_corrupt = (
+                "drop" if self._spill is None else self._spill.on_corrupt
+            )
+            drain = StreamDrain(bank, 1, None, on_corrupt)
+            drain.feed_buffers(
+                self.memory_buffer, self.block_buffer, self.arith_buffer
+            )
+            state["bank"] = bank
+            state["stats"] = drain.stats.as_dict()
+        else:
+            state["memory"] = self.memory_buffer.export_stream_state()
+            state["block"] = self.block_buffer.export_stream_state()
+            state["arith"] = self.arith_buffer.export_stream_state()
+        # After the feed / detach, so worker-side corrupt drops count.
+        state["accounting"] = {
+            "dropped": sum(b.dropped for b in buffers),
+            "spilled": sum(b.spilled for b in buffers),
+            "corrupt": sum(b.corrupt_dropped for b in buffers),
+        }
+        return state
 
     def absorb_shards(self, shard_states) -> None:
         """Merge shard traces back, in SM order, as if run serially.
@@ -250,6 +389,20 @@ class HookRuntime:
         parent registry in shard order -- first-encounter order across
         the concatenated stream, identical to a serial run.
         """
+        if self._streaming is not None:
+            # Streaming mode defers consumption to kernel_end: stash
+            # the states in SM order, keep the call-path registry's
+            # first-encounter order identical to the in-RAM remap, and
+            # advance the seq counter. Relayed columns keep their
+            # worker-local seqs / path ids -- the drain's running rank
+            # only needs within-shard seq order, and no aggregate
+            # reads call_path_id.
+            for state in shard_states:
+                for p in state["paths"]:
+                    self.call_paths.intern(p)
+                self._seq += state["seq_total"]
+                self._shard_states.append(state)
+            return
         for state in shard_states:
             remap = np.array(
                 [self.call_paths.intern(p) for p in state["paths"]],

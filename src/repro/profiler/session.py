@@ -30,18 +30,26 @@ class ProfilingSession:
     never exhaust memory (see ``docs/reliability.md``). A prebuilt
     :class:`~repro.reliability.spill.SpillConfig` can be passed as
     ``spill`` instead.
+
+    ``streaming`` takes an
+    :class:`~repro.analysis.aggregates.AnalyzerPlan`: each launch then
+    drains its trace *through* the plan's analyzer bank one spill
+    segment at a time (O(segment) peak memory) and the resulting
+    profiles carry ``aggregates`` instead of materialized records.
     """
 
     def __init__(self, buffer_capacity: Optional[int] = None,
                  sample_rate: int = 1,
                  spill_dir: Optional[str] = None,
                  spill_rows: int = 65536,
-                 spill: Optional[SpillConfig] = None):
+                 spill: Optional[SpillConfig] = None,
+                 streaming=None):
         self.buffer_capacity = buffer_capacity
         self.sample_rate = sample_rate
         if spill is None and spill_dir is not None:
             spill = SpillConfig(directory=spill_dir, segment_rows=spill_rows)
         self.spill = spill
+        self.streaming = streaming
         self.profiles: List[KernelProfile] = []
         self.host_buffers: List[HostBuffer] = []
         self.device_allocations: List[DeviceAllocationRecord] = []
@@ -76,6 +84,7 @@ class ProfilingSession:
             buffer_capacity=self.buffer_capacity,
             sample_rate=self.sample_rate,
             spill=self.spill,
+            streaming=self.streaming,
         )
         hooks.on_complete = self.profiles.append
         return hooks
