@@ -734,9 +734,19 @@ def advisor_plan(
     line_size: int,
     modes: Sequence[str] = ("memory", "blocks"),
     write_restart: bool = True,
+    heatmap_cell_rows: Optional[int] = None,
 ) -> AnalyzerPlan:
-    """The aggregates :class:`~repro.optim.advisor.CUDAAdvisor` needs."""
+    """The aggregates :class:`~repro.optim.advisor.CUDAAdvisor` needs.
+
+    ``heatmap_cell_rows`` (when set, and "memory" is instrumented) adds
+    the :class:`~repro.analysis.heatmap.HeatmapAggregate` so streaming
+    drains build the per-allocation x time heat map as they go.
+    """
     factories: Dict[str, Callable[[], SegmentAggregate]] = {}
+    if "memory" in modes and heatmap_cell_rows is not None:
+        from repro.analysis.heatmap import HeatmapAggregate
+
+        factories["heatmap"] = lambda: HeatmapAggregate(heatmap_cell_rows)
     if "memory" in modes:
         factories["reuse_element"] = lambda: ReuseDistanceAggregate(
             ReuseDistanceModel.ELEMENT, line_size, write_restart
@@ -759,9 +769,10 @@ def full_plan(
     modes: Sequence[str] = ("memory", "blocks", "arith"),
     write_restart: bool = True,
     divergence_threshold: int = 2,
+    heatmap_cell_rows: Optional[int] = None,
 ) -> AnalyzerPlan:
     """Every streaming analysis, including the per-site debugging views."""
-    plan = advisor_plan(line_size, modes, write_restart)
+    plan = advisor_plan(line_size, modes, write_restart, heatmap_cell_rows)
     if "memory" in modes:
         plan.factories["site_reuse_element"] = lambda: SiteReuseAggregate(
             ReuseDistanceModel.ELEMENT, line_size, write_restart

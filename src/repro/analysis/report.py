@@ -91,14 +91,76 @@ def render_buffer_accounting(app: str, profiles: Sequence) -> str:
     return "\n".join(lines)
 
 
-def render_jit_cache(app: str, stats: dict) -> str:
+def render_heatmap(app: str, heatmap) -> str:
+    """The CUTHERMO-style terminal heat map (``repro profile --heatmap``).
+
+    One row per device allocation, one character per display time
+    bucket; character density encodes the bucket's access count scaled
+    to the hottest cell of the whole map (space = untouched). Row
+    totals (accesses, distinct bytes touched) follow each strip --
+    ``heatmap`` is a resolved
+    :class:`~repro.analysis.heatmap.MemoryHeatmap`.
+    """
+    shades = " .:-=+*#%@"
+    lines = [
+        f"Memory heat map -- {app}: {len(heatmap.rows)} allocations x "
+        f"{heatmap.time_buckets} time buckets "
+        f"({heatmap.granule_bytes}B granules, "
+        f"{heatmap.cell_rows} accesses/CTA per cell)",
+        f"  intensity: '{shades[1]}' low .. '{shades[-1]}' hot "
+        f"(accesses per bucket, scaled to the hottest cell)",
+    ]
+    if not heatmap.time_buckets:
+        lines.append("  (no memory accesses recorded)")
+        return "\n".join(lines)
+    peak = max(
+        (r + w for row in heatmap.rows
+         for r, w in zip(row.reads, row.writes)),
+        default=0,
+    )
+    name_width = max(
+        [len(row.name) for row in heatmap.rows] + [len("allocation")]
+    )
+    header = (
+        f"  {'allocation':<{name_width}} |{'time ->':<{heatmap.time_buckets}}"
+        f"| {'accesses':>9} {'bytes touched':>14}"
+    )
+    lines.append(header)
+    for row in heatmap.rows:
+        strip = []
+        for r, w in zip(row.reads, row.writes):
+            total = r + w
+            if not total:
+                strip.append(" ")
+            else:
+                # ceil-scale so any activity gets at least the faintest
+                # shade and only the peak cell gets the hottest.
+                idx = 1 + (total * (len(shades) - 2)) // max(peak, 1)
+                strip.append(shades[min(idx, len(shades) - 1)])
+        touched = sum(row.unique_bytes)
+        lines.append(
+            f"  {row.name:<{name_width}} |{''.join(strip)}| "
+            f"{row.accesses:>9} {touched:>13}B"
+        )
+    return "\n".join(lines)
+
+
+def render_jit_cache(app: str, stats: Optional[dict]) -> str:
     """JIT trace-cache counters for one profiled run (batched backend).
 
     ``stats`` is ``JitCacheStats.snapshot()``: specialization hits and
     misses plus decode-stream reuses. A healthy multi-launch run shows
     hits dominating misses (each kernel is specialized once, then every
-    later launch of the same module is a cache hit).
+    later launch of the same module is a cache hit). ``None`` (the
+    interpreter backend keeps no JIT cache) renders an explicit
+    placeholder so verbose output always shows the section.
     """
+    if stats is None:
+        return (
+            f"JIT trace cache -- {app}\n"
+            f"  (none: the JIT trace cache only runs under "
+            f"--backend batched)"
+        )
     total = stats.get("hits", 0) + stats.get("misses", 0)
     rate = stats.get("hits", 0) / total if total else 0.0
     lines = [
@@ -118,8 +180,16 @@ def render_stream_stats(app: str, profiles: Sequence) -> str:
     One row per kernel instance that drained through the analyzer bank:
     segments streamed, the peak number of trace rows resident during
     the drain (the O(segment) guarantee, vs total kept rows), and the
-    rows dropped (capacity, sampling clip, corrupt segments).
+    rows dropped (capacity, sampling clip, corrupt segments). Without
+    any streamed launch the section renders an explicit placeholder so
+    verbose output always shows it.
     """
+    if not any(p.stream_stats is not None for p in profiles):
+        return (
+            f"Streaming drain -- {app}\n"
+            f"  (none: traces were drained in RAM; enable with "
+            f"--streaming-drain)"
+        )
     lines = [
         f"Streaming drain -- {app}",
         f"{'kernel':<20} {'segments':>9} {'peak rows':>10} "

@@ -21,6 +21,7 @@ from repro.analysis.report import (
     render_branch_table,
     render_buffer_accounting,
     render_divergence_distribution,
+    render_heatmap,
     render_jit_cache,
     render_reuse_histogram,
     render_stream_stats,
@@ -63,17 +64,8 @@ def _parse_modes(spec: str) -> tuple:
     return modes
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="CUDAAdvisor reproduction: profile GPU kernels on a "
-        "simulated NVIDIA GPU and derive optimization guidance.",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("list", help="list the Table 2 benchmark suite")
-
-    profile = sub.add_parser("profile", help="run CUDAAdvisor on an app")
+def _add_profiling_args(profile: argparse.ArgumentParser) -> None:
+    """The knobs `profile` and `export` share (one advisor underneath)."""
     profile.add_argument("app")
     profile.add_argument("--arch", choices=sorted(ARCHES), default="kepler")
     profile.add_argument(
@@ -83,10 +75,6 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--no-overhead", action="store_true",
         help="skip the baseline run (faster; no Figure 10 metric)",
-    )
-    profile.add_argument(
-        "--json", action="store_true",
-        help="emit the full report as JSON instead of text",
     )
     profile.add_argument(
         "--backend", default=None,
@@ -124,8 +112,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "(O(segment) peak memory; raw records are not retained)",
     )
     profile.add_argument(
+        "--heatmap-cell-rows", type=int, default=None,
+        help="kept memory accesses per CTA per heat-map time cell "
+        "(default 256; finer cells = finer time resolution)",
+    )
+    profile.add_argument(
+        "--time-buckets", type=int, default=64,
+        help="max display time buckets of the rendered/exported heat map",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CUDAAdvisor reproduction: profile GPU kernels on a "
+        "simulated NVIDIA GPU and derive optimization guidance.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table 2 benchmark suite")
+
+    profile = sub.add_parser("profile", help="run CUDAAdvisor on an app")
+    _add_profiling_args(profile)
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the legacy report summary as JSON (report.to_dict(); "
+        "for the stable schema-governed document use --format json)",
+    )
+    profile.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format: rendered text (default) or the versioned "
+        "profile-export document (docs/profile-format.md)",
+    )
+    profile.add_argument(
+        "--heatmap", action="store_true",
+        help="collect and render the per-allocation x time memory heat "
+        "map (needs the 'memory' mode; see docs/heatmaps.md)",
+    )
+    profile.add_argument(
         "--verbose", action="store_true",
-        help="print execution internals (JIT trace-cache counters, ...)",
+        help="print execution internals (JIT trace-cache counters, "
+        "streaming-drain statistics)",
+    )
+
+    export = sub.add_parser(
+        "export",
+        help="profile an app and write the versioned machine-readable "
+        "profile document (docs/profile-format.md)",
+    )
+    _add_profiling_args(export)
+    export.add_argument(
+        "-o", "--output", default=None,
+        help="output path ('-' or omitted: stdout)",
+    )
+    export.add_argument(
+        "--columnar", action="store_true",
+        help="emit the heat map as a sparse parallel-array cell table "
+        "instead of per-allocation series (compact for large maps)",
+    )
+    export.add_argument(
+        "--include-runtime", action="store_true",
+        help="add the run-variant 'runtime' section (wall clock, drain "
+        "stats, degradations); costs run-to-run byte-identity",
     )
 
     bypass = sub.add_parser(
@@ -161,8 +209,8 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_profile(args) -> int:
-    modes = _parse_modes(args.modes)
+def _advisor_from_args(args, modes, heatmap: bool) -> CUDAAdvisor:
+    """Validate the shared profiling knobs and build the advisor."""
     if args.backend is not None and args.backend not in BACKENDS:
         raise _UsageError(
             f"unknown backend {args.backend!r}: expected one of "
@@ -176,7 +224,19 @@ def _cmd_profile(args) -> int:
         raise _UsageError("--spill-rows needs --spill-dir")
     if args.spill_rows is not None and args.spill_rows < 1:
         raise _UsageError("--spill-rows must be >= 1")
-    advisor = CUDAAdvisor(
+    if args.heatmap_cell_rows is not None and args.heatmap_cell_rows < 1:
+        raise _UsageError("--heatmap-cell-rows must be >= 1")
+    if args.time_buckets < 1:
+        raise _UsageError("--time-buckets must be >= 1")
+    if heatmap and "memory" not in modes:
+        raise _UsageError(
+            "the heat map is built from memory instrumentation: "
+            "include 'memory' in --modes"
+        )
+    kwargs = {}
+    if args.heatmap_cell_rows is not None:
+        kwargs["heatmap_cell_rows"] = args.heatmap_cell_rows
+    return CUDAAdvisor(
         arch=ARCHES[args.arch],
         modes=modes,
         measure_overhead=not args.no_overhead,
@@ -188,13 +248,28 @@ def _cmd_profile(args) -> int:
         spill_dir=args.spill_dir,
         spill_rows=args.spill_rows or 65536,
         streaming_drain=args.streaming_drain,
+        heatmap=heatmap,
+        **kwargs,
     )
+
+
+def _cmd_profile(args) -> int:
+    modes = _parse_modes(args.modes)
+    advisor = _advisor_from_args(args, modes, heatmap=args.heatmap)
     report = advisor.profile(build_app(_check_app(args.app)))
 
     if args.json:
         import json
 
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.format == "json":
+        from repro.export import export_json, profile_export
+
+        sys.stdout.write(export_json(
+            profile_export(report, time_buckets=args.time_buckets)
+        ))
         return 0
 
     if report.reuse_element is not None:
@@ -211,6 +286,12 @@ def _cmd_profile(args) -> int:
         print("### BD_mode (branch divergence)")
         print(render_branch_table({args.app: report.branch_divergence}))
         print()
+    if report.heatmap is not None:
+        print("### memory heat map")
+        print(render_heatmap(
+            args.app, report.resolved_heatmap(args.time_buckets)
+        ))
+        print()
     if report.overhead is not None:
         print("### overhead")
         print(report.overhead.render())
@@ -220,11 +301,13 @@ def _cmd_profile(args) -> int:
         print("### trace buffers")
         print(render_buffer_accounting(args.app, profiles))
         print()
-    if args.verbose and report.jit_cache is not None:
+    if args.verbose:
+        # Both sections always render under --verbose -- empty ones as
+        # explicit placeholders -- so the text view and the export
+        # document agree on what was (and wasn't) collected.
         print("### jit trace cache")
         print(render_jit_cache(args.app, report.jit_cache))
         print()
-    if args.verbose and any(p.stream_stats is not None for p in profiles):
         print("### streaming drain")
         print(render_stream_stats(args.app, profiles))
         print()
@@ -243,6 +326,36 @@ def _cmd_profile(args) -> int:
     print("### advice")
     for tip in report.advice():
         print(f"  * {tip}")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.export import SCHEMA_VERSION, export_json, profile_export
+    from repro.export import validate
+
+    modes = _parse_modes(args.modes)
+    advisor = _advisor_from_args(args, modes, heatmap="memory" in modes)
+    report = advisor.profile(build_app(_check_app(args.app)))
+    doc = profile_export(
+        report,
+        time_buckets=args.time_buckets,
+        columnar=args.columnar,
+        include_runtime=args.include_runtime,
+    )
+    # The bundled schema is the emitter's own contract: a document that
+    # fails it is a bug, caught here rather than by a consumer.
+    validate(doc)
+    text = export_json(doc)
+    if args.output in (None, "-"):
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(
+            f"wrote {args.output}: schema {SCHEMA_VERSION}, "
+            f"{len(text)} bytes",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -295,6 +408,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands = {
         "list": lambda: _cmd_list(),
         "profile": lambda: _cmd_profile(args),
+        "export": lambda: _cmd_export(args),
         "bypass": lambda: _cmd_bypass(args),
         "ptx": lambda: _cmd_ptx(args),
         "instrument": lambda: _cmd_instrument(args),

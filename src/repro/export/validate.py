@@ -1,0 +1,155 @@
+"""A small, dependency-free JSON Schema validator (subset).
+
+The profile export bundles a JSON Schema
+(``src/repro/export/schema/profile_export.schema.json``) as its format
+contract, and every emitted document is validated against it in tests
+and in the ``repro export --validate`` path. CI environments install
+only numpy/pytest/hypothesis, so this module implements the subset of
+JSON Schema (draft 2020-12 keywords) the bundled schema actually uses:
+
+``type`` (incl. union lists), ``properties``, ``required``,
+``additionalProperties``, ``patternProperties``, ``items``, ``enum``,
+``const``, ``minimum`` / ``maximum``, ``minItems``, ``pattern``,
+``anyOf`` and ``$ref`` into ``#/$defs/...``.
+
+When the real ``jsonschema`` package is importable the test suite
+cross-checks both validators agree; this one is authoritative for the
+tool itself.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Iterator, List
+
+SCHEMA_DIR = Path(__file__).resolve().parent / "schema"
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in python; exclude it explicitly.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: (
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+    ),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class SchemaError(ValueError):
+    """A document failed schema validation (first error wins)."""
+
+
+def load_schema(name: str = "profile_export") -> dict:
+    """Load a bundled schema by name from :data:`SCHEMA_DIR`."""
+    path = SCHEMA_DIR / f"{name}.schema.json"
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _resolve_ref(ref: str, root: dict) -> dict:
+    if not ref.startswith("#/"):
+        raise SchemaError(f"unsupported $ref target: {ref!r}")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        part = part.replace("~1", "/").replace("~0", "~")
+        if not isinstance(node, dict) or part not in node:
+            raise SchemaError(f"dangling $ref: {ref!r}")
+        node = node[part]
+    return node
+
+
+def iter_errors(value: Any, schema: dict, root: dict = None,
+                path: str = "$") -> Iterator[str]:
+    """Yield every violation of ``schema`` by ``value`` (depth-first)."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        yield from iter_errors(
+            value, _resolve_ref(schema["$ref"], root), root, path
+        )
+        return
+    if "const" in schema and value != schema["const"]:
+        yield f"{path}: expected const {schema['const']!r}, got {value!r}"
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        yield f"{path}: {value!r} not one of {schema['enum']!r}"
+        return
+    if "anyOf" in schema:
+        branches = schema["anyOf"]
+        failures: List[List[str]] = []
+        for branch in branches:
+            errs = list(iter_errors(value, branch, root, path))
+            if not errs:
+                break
+            failures.append(errs)
+        else:
+            yield (
+                f"{path}: matched none of {len(branches)} anyOf branches "
+                f"(first branch said: {failures[0][0]})"
+            )
+            return
+    declared = schema.get("type")
+    if declared is not None:
+        types = declared if isinstance(declared, list) else [declared]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            yield (
+                f"{path}: expected {' or '.join(types)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+    if isinstance(value, str) and "pattern" in schema:
+        if re.search(schema["pattern"], value) is None:
+            yield f"{path}: {value!r} does not match /{schema['pattern']}/"
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            yield f"{path}: {value!r} < minimum {schema['minimum']!r}"
+        if "maximum" in schema and value > schema["maximum"]:
+            yield f"{path}: {value!r} > maximum {schema['maximum']!r}"
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            yield (
+                f"{path}: {len(value)} items < minItems "
+                f"{schema['minItems']!r}"
+            )
+        item_schema = schema.get("items")
+        if isinstance(item_schema, dict):
+            for i, item in enumerate(value):
+                yield from iter_errors(
+                    item, item_schema, root, f"{path}[{i}]"
+                )
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        patterns = schema.get("patternProperties", {})
+        for name in schema.get("required", ()):
+            if name not in value:
+                yield f"{path}: missing required property {name!r}"
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            sub_path = f"{path}.{key}"
+            if key in props:
+                yield from iter_errors(item, props[key], root, sub_path)
+                continue
+            matched = False
+            for pattern, sub in patterns.items():
+                if re.search(pattern, key) is not None:
+                    matched = True
+                    yield from iter_errors(item, sub, root, sub_path)
+            if matched:
+                continue
+            if extra is False:
+                yield f"{path}: unexpected property {key!r}"
+            elif isinstance(extra, dict):
+                yield from iter_errors(item, extra, root, sub_path)
+
+
+def validate(value: Any, schema: dict = None) -> None:
+    """Raise :class:`SchemaError` on the first violation (None = OK)."""
+    if schema is None:
+        schema = load_schema()
+    for error in iter_errors(value, schema):
+        raise SchemaError(error)

@@ -26,6 +26,12 @@ from repro.analysis.divergence_memory import (
     MemoryDivergenceProfile,
     memory_divergence_analysis,
 )
+from repro.analysis.heatmap import (
+    DEFAULT_CELL_ROWS,
+    HeatmapTable,
+    MemoryHeatmap,
+    heatmap_analysis,
+)
 from repro.analysis.overhead import OverheadReport, overhead_report
 from repro.analysis.reuse_distance import (
     ReuseDistanceHistogram,
@@ -92,6 +98,25 @@ class AdvisorReport:
     #: JIT trace-cache counters from the instrumented run's device
     #: (batched backend only; see repro.gpu.jit_cache).
     jit_cache: Optional[Dict[str, int]] = None
+    #: granule-resolution heat map over all launches (launch-concatenated
+    #: timeline); resolve to allocations via :meth:`resolved_heatmap`.
+    heatmap: Optional[HeatmapTable] = None
+
+    def resolved_heatmap(self, time_buckets: int = 64) -> MemoryHeatmap:
+        """The per-allocation x time heat map (CUTHERMO view).
+
+        Joins the granule-level table against this session's device
+        allocation records and re-bins time to at most ``time_buckets``
+        display buckets. Requires profiling with ``heatmap=True``.
+        """
+        if self.heatmap is None:
+            raise AnalysisError(
+                "no heat map in this report: profile with "
+                "CUDAAdvisor(heatmap=True) (or repro profile --heatmap)"
+            )
+        return self.heatmap.resolve(
+            self.session.device_allocations, time_buckets
+        )
 
     def to_dict(self) -> dict:
         """A JSON-serializable summary of every analysis (for dashboards,
@@ -159,6 +184,13 @@ class AdvisorReport:
             }
         if self.jit_cache is not None:
             out["jit_cache"] = dict(self.jit_cache)
+        if self.heatmap is not None:
+            out["heatmap"] = {
+                "granule_bytes": self.heatmap.granule_bytes,
+                "cell_rows": self.heatmap.cell_rows,
+                "time_cells": self.heatmap.time_cells,
+                "occupied_cells": len(self.heatmap.cells),
+            }
         dropped = sum(p.dropped_records for p in self.session.profiles)
         spilled = sum(p.spilled_records for p in self.session.profiles)
         corrupt = sum(p.corrupt_records for p in self.session.profiles)
@@ -267,6 +299,8 @@ class CUDAAdvisor:
         spill_dir: Optional[str] = None,
         spill_rows: int = 65536,
         streaming_drain: bool = False,
+        heatmap: bool = False,
+        heatmap_cell_rows: int = DEFAULT_CELL_ROWS,
     ):
         self.arch = arch
         self.modes = tuple(modes)
@@ -288,6 +322,10 @@ class CUDAAdvisor:
         #: are not retained, so leave this off when post-hoc record
         #: inspection is needed.
         self.streaming_drain = streaming_drain
+        #: build the per-allocation x time heat map (needs "memory" mode);
+        #: cell_rows sets kept memory instructions per CTA per time cell.
+        self.heatmap = heatmap
+        self.heatmap_cell_rows = heatmap_cell_rows
 
     # -- compilation helpers ---------------------------------------------------
     def _compile(self, program: GPUProgram, instrument: bool,
@@ -334,7 +372,13 @@ class CUDAAdvisor:
             spill_dir=self.spill_dir,
             spill_rows=self.spill_rows,
             streaming=(
-                advisor_plan(self.arch.l1_line_size, self.modes)
+                advisor_plan(
+                    self.arch.l1_line_size,
+                    self.modes,
+                    heatmap_cell_rows=(
+                        self.heatmap_cell_rows if self.heatmap else None
+                    ),
+                )
                 if self.streaming_drain
                 else None
             ),
@@ -385,6 +429,19 @@ class CUDAAdvisor:
                         )
                     )
             report.memory_divergence = merged_md
+
+            if self.heatmap:
+                merged_hm = HeatmapTable(cell_rows=self.heatmap_cell_rows)
+                for profile in session.profiles:
+                    if profile.aggregates is not None:
+                        merged_hm.merge(profile.aggregates.result("heatmap"))
+                    else:
+                        merged_hm.merge(
+                            heatmap_analysis(
+                                profile, cell_rows=self.heatmap_cell_rows
+                            )
+                        )
+                report.heatmap = merged_hm
 
             num_ctas = max(p.num_ctas for p in session.profiles)
             report.bypass_prediction = predict_optimal_warps(

@@ -1,12 +1,15 @@
 #!/usr/bin/env python
-"""Check that intra-repo markdown links resolve.
+"""Check that intra-repo markdown links (and their anchors) resolve.
 
 Scans every tracked ``*.md`` file (or the paths given on the command
 line) for inline links and images (``[text](target)``), skips external
-schemes and pure in-page anchors, resolves the rest against the linking
-file's directory (or the repo root for absolute ``/`` paths), and fails
-with a listing if any target file is missing. Anchors on existing files
-(``architecture.md#knobs``) are checked for file existence only.
+schemes, resolves the rest against the linking file's directory (or the
+repo root for absolute ``/`` paths), and fails with a listing if any
+target file is missing. Anchored links — both in-page (``#knobs``) and
+cross-file (``architecture.md#knobs``) — are additionally checked
+against the target file's headings, using GitHub's slug rules
+(lowercase, punctuation stripped, spaces to hyphens, ``-1``/``-2``
+suffixes for duplicates).
 
 Usage::
 
@@ -26,6 +29,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: target group stops before an optional "title" and the closing paren.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
 
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+#: characters GitHub keeps in a heading slug (besides spaces/hyphens)
+SLUG_KEEP = re.compile(r"[^0-9a-zÀ-￿ _-]")
+
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 
 #: directories never scanned for source files
@@ -38,7 +46,37 @@ def iter_markdown_files(root: Path):
             yield path
 
 
-def check_file(path: Path) -> list:
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for one heading (before dedup suffixes)."""
+    # inline code/emphasis markers and link syntax don't survive slugs
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", "_")
+    text = SLUG_KEEP.sub("", text.lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set:
+    """Every anchor GitHub would generate for *path*'s headings."""
+    anchors: set = set()
+    counts: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(path: Path, anchor_cache: dict) -> list:
     failures = []
     text = path.read_text(encoding="utf-8")
     in_fence = False
@@ -50,17 +88,25 @@ def check_file(path: Path) -> list:
             continue
         for match in LINK_RE.finditer(line):
             target = match.group(1)
-            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            if target.startswith(SKIP_PREFIXES):
                 continue
-            target = target.split("#", 1)[0]
-            if not target:
-                continue
-            if target.startswith("/"):
-                resolved = REPO_ROOT / target.lstrip("/")
+            target, _, anchor = target.partition("#")
+            if target:
+                if target.startswith("/"):
+                    resolved = REPO_ROOT / target.lstrip("/")
+                else:
+                    resolved = path.parent / target
+                if not resolved.exists():
+                    failures.append((path, lineno, match.group(1)))
+                    continue
             else:
-                resolved = path.parent / target
-            if not resolved.exists():
-                failures.append((path, lineno, match.group(1)))
+                resolved = path  # pure in-page anchor
+            if anchor and resolved.suffix == ".md":
+                resolved = resolved.resolve()
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = heading_anchors(resolved)
+                if anchor.lower() not in anchor_cache[resolved]:
+                    failures.append((path, lineno, match.group(1)))
     return failures
 
 
@@ -70,10 +116,14 @@ def main(argv) -> int:
     else:
         files = list(iter_markdown_files(REPO_ROOT))
     failures = []
+    anchor_cache: dict = {}
     for path in files:
-        failures.extend(check_file(path))
+        failures.extend(check_file(path, anchor_cache))
     for path, lineno, target in failures:
-        rel = path.relative_to(REPO_ROOT)
+        try:
+            rel = path.relative_to(REPO_ROOT)
+        except ValueError:
+            rel = path
         print(f"{rel}:{lineno}: broken link -> {target}")
     print(
         f"checked {len(files)} markdown file(s): "

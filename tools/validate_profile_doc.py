@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Validate profile-export documents against the bundled JSON Schema.
+
+With file arguments, each file is parsed as one export document and
+validated. With no arguments, the worked example embedded in
+``docs/profile-format.md`` is extracted and validated — the CI docs job
+runs this mode so the documented example can never drift from the
+schema contract.
+
+A fenced ```json block counts as an example document when it parses to
+an object carrying a ``schema_version`` key; other JSON fences
+(snippets, fragments) are ignored.
+
+Usage::
+
+    python tools/validate_profile_doc.py                # docs examples
+    python tools/validate_profile_doc.py profile.json   # saved documents
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.export import SchemaError, validate  # noqa: E402
+
+DOC_PAGES = [REPO_ROOT / "docs" / "profile-format.md"]
+
+
+def iter_embedded_documents(page: Path):
+    """Yield ``(lineno, doc)`` for each example document in *page*."""
+    lines = page.read_text(encoding="utf-8").splitlines()
+    fence_start, buf = None, []
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if fence_start is None:
+            if stripped == "```json":
+                fence_start, buf = lineno, []
+        elif stripped == "```":
+            try:
+                value = json.loads("\n".join(buf))
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{page}:{fence_start}: unparseable json fence: {exc}"
+                )
+            if isinstance(value, dict) and "schema_version" in value:
+                yield fence_start, value
+            fence_start = None
+        else:
+            buf.append(line)
+
+
+def main(argv) -> int:
+    checked, failures = 0, 0
+    if argv:
+        targets = [
+            (Path(a), 1, json.loads(Path(a).read_text(encoding="utf-8")))
+            for a in argv
+        ]
+    else:
+        targets = [
+            (page, lineno, doc)
+            for page in DOC_PAGES
+            for lineno, doc in iter_embedded_documents(page)
+        ]
+        if not targets:
+            print("no embedded example documents found", file=sys.stderr)
+            return 1
+    for source, lineno, doc in targets:
+        checked += 1
+        try:
+            validate(doc)
+        except SchemaError as exc:
+            failures += 1
+            print(f"{source}:{lineno}: INVALID: {exc}")
+        else:
+            print(
+                f"{source}:{lineno}: ok "
+                f"(schema_version {doc.get('schema_version')})"
+            )
+    print(f"validated {checked} document(s), {failures} invalid")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
