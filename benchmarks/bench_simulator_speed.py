@@ -109,6 +109,16 @@ RSS_APPS: Dict[str, dict] = {
         "scaled": {"n": 64, "iterations": 8},
         "ceiling_kb": 10240,
     },
+    "backprop": {
+        "small": {"input_units": 1024},
+        "scaled": {"input_units": 4096},
+        "ceiling_kb": 16384,
+    },
+    "nw": {
+        "small": {"n": 128},
+        "scaled": {"n": 256},  # 4x cells: work scales with n^2
+        "ceiling_kb": 8192,
+    },
 }
 
 #: Cache-line size handed to the drain-time analyzers in --rss runs.

@@ -9,11 +9,17 @@ this CLI reproduces that workflow::
     python -m repro profile bfs --arch kepler --modes memory,blocks
     python -m repro bypass syrk --l1 16
     python -m repro ptx hotspot
+
+Beyond the artifact: ``repro serve`` drives the profiling service (a
+persistent worker pool + content-addressed result cache; see
+docs/service.md), and ``--cache-dir`` memoizes ``profile --format
+json``/``export`` results across invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
 import sys
 from typing import List, Optional
 
@@ -120,6 +126,13 @@ def _add_profiling_args(profile: argparse.ArgumentParser) -> None:
         "--time-buckets", type=int, default=64,
         help="max display time buckets of the rendered/exported heat map",
     )
+    profile.add_argument(
+        "--cache-dir", default=None,
+        help="memoize the export document in this content-addressed "
+        "result cache; a repeated invocation with identical knobs "
+        "serves the cached bytes without re-simulating "
+        "(profile: needs --format json; see docs/service.md)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -175,6 +188,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="add the run-variant 'runtime' section (wall clock, drain "
         "stats, degradations); costs run-to-run byte-identity",
     )
+    export.add_argument(
+        "--ndjson", action="store_true",
+        help="emit NDJSON: one record per top-level section, streamed "
+        "as produced; the records reassemble into the canonical "
+        "document (docs/profile-format.md)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a profiling-service session: schedule the given apps "
+        "as jobs on a persistent worker pool with a crash-safe result "
+        "cache (docs/service.md)",
+    )
+    serve.add_argument("apps", nargs="+",
+                       help="apps to profile (repeats allowed; repeats "
+                       "hit the cache or coalesce)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="persistent pool workers (0: serial in-process)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="content-addressed result cache directory")
+    serve.add_argument("--repeat", type=int, default=1,
+                       help="submit the whole app list N times")
+    serve.add_argument("--job-timeout", type=float, default=30.0,
+                       help="reap a worker that misses heartbeats for "
+                       "this many seconds (default 30)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="pool attempts per job before the serial "
+                       "fallback (default 3)")
+    serve.add_argument("--failure-policy", default="degrade",
+                       choices=FAILURE_POLICIES,
+                       help="job-scope failure ladder (docs/service.md)")
+    serve.add_argument("--arch", choices=sorted(ARCHES), default="kepler")
+    serve.add_argument("--modes", default="memory,blocks",
+                       help="comma-separated: memory, blocks, arith")
+    serve.add_argument("--sample-rate", type=int, default=1)
+    serve.add_argument("--no-overhead", action="store_true",
+                       help="skip the baseline run inside each job")
+    serve.add_argument("-o", "--output-dir", default=None,
+                       help="also write each job's export document here "
+                       "(atomic, one file per job)")
 
     bypass = sub.add_parser(
         "bypass", help="evaluate Eq.(1) horizontal bypassing vs the oracle"
@@ -253,9 +306,61 @@ def _advisor_from_args(args, modes, heatmap: bool) -> CUDAAdvisor:
     )
 
 
+def _submit_config(args, modes, heatmap) -> dict:
+    """submit() config equivalent to this invocation's advisor knobs."""
+    config = {
+        "arch": args.arch,
+        "modes": modes,
+        "sample_rate": args.sample_rate,
+        "buffer_capacity": args.buffer_capacity,
+        "measure_overhead": not args.no_overhead,
+        "heatmap": heatmap,
+        "time_buckets": args.time_buckets,
+        "columnar": getattr(args, "columnar", False),
+    }
+    if args.heatmap_cell_rows is not None:
+        config["heatmap_cell_rows"] = args.heatmap_cell_rows
+    for hint, value in (
+        ("backend", args.backend),
+        ("parallel_workers", args.workers),
+        ("failure_policy", args.failure_policy),
+        ("spill_dir", args.spill_dir),
+        ("spill_rows", args.spill_rows),
+        ("streaming_drain", args.streaming_drain or None),
+    ):
+        if value is not None:
+            config[hint] = value
+    return config
+
+
+def _cached_export_payload(args, modes, heatmap) -> str:
+    """Serve (or simulate-and-fill) the export document via the cache."""
+    from repro.service import ProfilingService
+
+    with ProfilingService(workers=0, cache_dir=args.cache_dir) as svc:
+        handle = svc.submit(
+            _check_app(args.app), _submit_config(args, modes, heatmap)
+        )
+        result = handle.result()
+        print(
+            f"cache {result.source}: key {handle.key[:12]} "
+            f"under {args.cache_dir}",
+            file=sys.stderr,
+        )
+        return result.payload
+
+
 def _cmd_profile(args) -> int:
     modes = _parse_modes(args.modes)
     advisor = _advisor_from_args(args, modes, heatmap=args.heatmap)
+    if args.cache_dir is not None:
+        if args.format != "json" or args.json:
+            raise _UsageError(
+                "--cache-dir memoizes the export document: combine it "
+                "with --format json (text rendering needs a live report)"
+            )
+        sys.stdout.write(_cached_export_payload(args, modes, args.heatmap))
+        return 0
     report = advisor.profile(build_app(_check_app(args.app)))
 
     if args.json:
@@ -330,33 +435,114 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_export(args) -> int:
-    from repro.export import SCHEMA_VERSION, export_json, profile_export
-    from repro.export import validate
+    import json as json_mod
+
+    from repro.export import (
+        SCHEMA_VERSION,
+        export_json,
+        iter_ndjson,
+        profile_export,
+        validate,
+    )
 
     modes = _parse_modes(args.modes)
     advisor = _advisor_from_args(args, modes, heatmap="memory" in modes)
-    report = advisor.profile(build_app(_check_app(args.app)))
-    doc = profile_export(
-        report,
-        time_buckets=args.time_buckets,
-        columnar=args.columnar,
-        include_runtime=args.include_runtime,
+    if args.cache_dir is not None and args.include_runtime:
+        raise _UsageError(
+            "--include-runtime adds run-variant data and cannot be "
+            "served from the cache: drop one of the two flags"
+        )
+    if args.cache_dir is not None:
+        doc = json_mod.loads(
+            _cached_export_payload(args, modes, "memory" in modes)
+        )
+    else:
+        report = advisor.profile(build_app(_check_app(args.app)))
+        doc = profile_export(
+            report,
+            time_buckets=args.time_buckets,
+            columnar=args.columnar,
+            include_runtime=args.include_runtime,
+        )
+        # The bundled schema is the emitter's own contract: a document
+        # that fails it is a bug, caught here rather than by a consumer.
+        validate(doc)
+    text = (
+        "".join(iter_ndjson(doc)) if args.ndjson else export_json(doc)
     )
-    # The bundled schema is the emitter's own contract: a document that
-    # fails it is a bug, caught here rather than by a consumer.
-    validate(doc)
-    text = export_json(doc)
     if args.output in (None, "-"):
         sys.stdout.write(text)
     else:
-        with open(args.output, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(args.output, text)
         print(
             f"wrote {args.output}: schema {SCHEMA_VERSION}, "
             f"{len(text)} bytes",
             file=sys.stderr,
         )
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """A scripted profiling-service session over the given apps."""
+    import os
+
+    from repro.ioutil import atomic_write_text
+    from repro.service import ProfilingService
+
+    modes = _parse_modes(args.modes)
+    if args.workers < 0:
+        raise _UsageError("--workers must be >= 0")
+    if args.repeat < 1:
+        raise _UsageError("--repeat must be >= 1")
+    apps = [_check_app(app) for app in args.apps]
+    config = {
+        "arch": args.arch,
+        "modes": modes,
+        "sample_rate": args.sample_rate,
+        "measure_overhead": not args.no_overhead,
+    }
+    with ProfilingService(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        job_timeout=args.job_timeout,
+        max_attempts=args.max_attempts,
+        failure_policy=args.failure_policy,
+    ) as svc:
+        handles = [
+            svc.submit(app, dict(config))
+            for _ in range(args.repeat)
+            for app in apps
+        ]
+        failures = 0
+        for handle in handles:
+            for event in svc.stream(handle):
+                detail = " ".join(
+                    f"{k}={v}" for k, v in sorted(event.detail.items())
+                )
+                print(f"{handle.id:>8} {handle.spec.app:<10} "
+                      f"{event.state:<18} {detail}")
+            if handle.state == "failed":
+                failures += 1
+                print(f"{handle.id:>8} {handle.spec.app:<10} "
+                      f"error: {handle.error}", file=sys.stderr)
+            elif args.output_dir is not None:
+                result = handle.result()
+                os.makedirs(args.output_dir, exist_ok=True)
+                path = os.path.join(
+                    args.output_dir,
+                    f"{handle.spec.app}-{handle.key[:12]}.json",
+                )
+                atomic_write_text(path, result.payload)
+        print("counters: " + " ".join(
+            f"{k}={v}" for k, v in sorted(svc.counters.items()) if v
+        ))
+        if svc.cache is not None:
+            print("cache: " + " ".join(
+                f"{k}={v}" for k, v in sorted(svc.cache.stats.items())
+            ))
+    return 1 if failures else 0
 
 
 def _cmd_bypass(args) -> int:
@@ -403,12 +589,23 @@ def _cmd_instrument(args) -> int:
     return 0
 
 
+def _reap_workers() -> int:
+    """Kill and join any live child processes (pool or shard workers)."""
+    children = multiprocessing.active_children()
+    for proc in children:
+        proc.kill()
+    for proc in children:
+        proc.join(timeout=1.0)
+    return len(children)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     commands = {
         "list": lambda: _cmd_list(),
         "profile": lambda: _cmd_profile(args),
         "export": lambda: _cmd_export(args),
+        "serve": lambda: _cmd_serve(args),
         "bypass": lambda: _cmd_bypass(args),
         "ptx": lambda: _cmd_ptx(args),
         "instrument": lambda: _cmd_instrument(args),
@@ -418,6 +615,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except _UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # ^C must not dump a traceback or orphan forked workers: reap
+        # them and exit with the conventional 128+SIGINT status.
+        reaped = _reap_workers()
+        suffix = f" (reaped {reaped} worker processes)" if reaped else ""
+        print(f"interrupted{suffix}", file=sys.stderr)
+        return 130
     except ReproError as exc:
         # Tool-level failures (bad launch, corrupt trace under strict,
         # failed validation) come out as one friendly line, never a

@@ -26,7 +26,7 @@ accept any document whose major version they know.
 from __future__ import annotations
 
 import json
-from typing import Optional
+from typing import Iterable, Iterator, Optional
 
 from repro.optim.advisor import AdvisorReport
 
@@ -295,3 +295,51 @@ def export_json(doc: dict, indent: Optional[int] = 2) -> str:
     two equal documents always produce the same bytes.
     """
     return json.dumps(doc, indent=indent, sort_keys=True) + "\n"
+
+
+# -- NDJSON streamed emission (the service tier's incremental path) ---------
+
+def iter_ndjson(doc: dict) -> Iterator[str]:
+    """Stream a document as NDJSON: one record per top-level section.
+
+    Each yielded line is a compact JSON object
+    ``{"section": <key>, "value": <doc[key]>}`` (sorted keys, ``\\n``
+    terminated), emitted in sorted section order so the stream itself
+    is canonical.  Concatenating the lines and feeding them back
+    through :func:`assemble_ndjson` reproduces the document exactly --
+    ``export_json(assemble_ndjson(iter_ndjson(doc)))`` is byte-equal
+    to ``export_json(doc)`` (pinned by ``tests/test_export.py``).
+    """
+    for key in sorted(doc):
+        yield json.dumps(
+            {"section": key, "value": doc[key]},
+            sort_keys=True, separators=(",", ":"),
+        ) + "\n"
+
+
+def assemble_ndjson(lines: Iterable[str]) -> dict:
+    """Reassemble NDJSON section records into the canonical document."""
+    doc: dict = {}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        doc[record["section"]] = record["value"]
+    return doc
+
+
+def profile_export_stream(
+    report: AdvisorReport, *, time_buckets: int = 64,
+    columnar: bool = False, include_runtime: bool = False,
+) -> Iterator[str]:
+    """NDJSON emission of :func:`profile_export` (same arguments).
+
+    One record leaves per top-level section, so a service result can
+    stream out of the process incrementally instead of waiting for the
+    full document to serialize.
+    """
+    return iter_ndjson(profile_export(
+        report, time_buckets=time_buckets, columnar=columnar,
+        include_runtime=include_runtime,
+    ))

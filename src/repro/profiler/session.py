@@ -19,6 +19,13 @@ from repro.profiler.datacentric import DataCentricMap
 from repro.profiler.profiler import HookRuntime, KernelProfile
 from repro.reliability.spill import SpillConfig
 
+#: Process-local instrumentation counters.  ``sessions_created`` bumps
+#: per :class:`ProfilingSession`, ``launches_profiled`` per hooked
+#: kernel launch.  The service tier's "a warm cache hit performs zero
+#: simulation work in this process" assertion reads these (see
+#: docs/service.md); they are monotonic and never reset.
+SESSION_COUNTERS = {"sessions_created": 0, "launches_profiled": 0}
+
 
 class ProfilingSession:
     """Collects profiles and interposition records for one program run.
@@ -44,6 +51,7 @@ class ProfilingSession:
                  spill_rows: int = 65536,
                  spill: Optional[SpillConfig] = None,
                  streaming=None):
+        SESSION_COUNTERS["sessions_created"] += 1
         self.buffer_capacity = buffer_capacity
         self.sample_rate = sample_rate
         if spill is None and spill_dir is not None:
@@ -76,6 +84,7 @@ class ProfilingSession:
         host_call_path: Tuple[HostFrame, ...],
         launch_site: str,
     ) -> HookRuntime:
+        SESSION_COUNTERS["launches_profiled"] += 1
         hooks = HookRuntime(
             image,
             kernel,

@@ -29,6 +29,29 @@ Injection points
     the drain-time integrity check fails.  Context: ``kind`` (buffer
     kind), ``segment`` (per-buffer ordinal).
 
+Service-scope points (the profiling-as-a-service tier;
+``docs/service.md``):
+
+``service_worker_crash``
+    Fired in a persistent pool worker when it picks up a job, before
+    any execution; the worker dies with ``os._exit`` -- the service
+    sees a crashed worker holding a job.  Context: ``job``, ``app``,
+    ``attempt``, ``worker``.
+``service_job_hang``
+    Fired in a persistent pool worker after it acknowledges a job; the
+    worker sleeps forever without heartbeating -- the service's job
+    timeout must reap it.  Context: ``job``, ``app``, ``attempt``,
+    ``worker``.
+``cache_corrupt_entry``
+    Fired after a result-cache entry is published; flips bytes in the
+    entry file so the next read fails its checksum and the entry is
+    quarantined.  Context: ``key`` (cache key), ``app``.
+``service_pool_loss``
+    Fired in the service parent as a job is submitted; the service
+    kills one live pool worker -- the "submit storm during worker
+    loss" scenario.  Context: ``job``, ``app``.  Param ``worker``
+    picks a specific worker id (default: the lowest live id).
+
 Probabilistic specs are deterministic across processes: the decision
 hashes ``(seed, point, context)`` instead of consuming shared RNG
 state, so a forked worker reaches the same verdict its parent would.
@@ -46,6 +69,10 @@ INJECTION_POINTS = (
     "shard_hang",
     "buffer_overflow",
     "corrupt_spill",
+    "service_worker_crash",
+    "service_job_hang",
+    "cache_corrupt_entry",
+    "service_pool_loss",
 )
 
 

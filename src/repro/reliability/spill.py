@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import TraceCorruptionError
+from repro.ioutil import atomic_write_bytes
 
 #: Segment header: magic, payload bytes, row count, CRC32 of payload.
 _MAGIC = b"RSPL"
@@ -68,7 +69,10 @@ def write_segment(config: SpillConfig, kind: str, index: int,
     """Serialize one segment; returns its path.
 
     Filenames embed the pid and a random suffix so parallel shard
-    workers spilling into a shared directory can never collide.
+    workers spilling into a shared directory can never collide.  The
+    segment is published via temp-file + ``os.replace``, so a process
+    killed mid-write never leaves a truncated ``.seg`` file under the
+    final name.
     """
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     header = _HEADER.pack(_MAGIC, len(data), rows, zlib.crc32(data))
@@ -76,9 +80,7 @@ def write_segment(config: SpillConfig, kind: str, index: int,
         config.resolve_dir(),
         f"{kind}-{index:06d}-{os.getpid()}-{uuid.uuid4().hex[:8]}.seg",
     )
-    with open(path, "wb") as f:
-        f.write(header)
-        f.write(data)
+    atomic_write_bytes(path, header + data)
     if config.injector is not None:
         params = config.injector.fire("corrupt_spill", kind=kind,
                                       segment=index)

@@ -1,0 +1,141 @@
+"""Content-addressed, crash-safe on-disk result cache.
+
+One entry per cache key (see :meth:`~repro.service.jobs.JobSpec.cache_key`):
+a fixed magic line, a JSON header carrying the payload length and its
+SHA-256, then the payload (the canonical export document text).  Entries
+are published via temp-file + ``os.replace``, so a crash mid-write never
+leaves a torn entry under a valid name.  A read that fails any check --
+bad magic, unparseable header, short payload, checksum mismatch -- is
+**quarantined**: the file moves to ``<dir>/quarantine/`` (named after
+its key, atomically), an accounting record is appended, and the caller
+sees a miss, so the service transparently re-simulates and re-publishes
+a good entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.ioutil import atomic_write_bytes
+
+_MAGIC = b"RPROCACHE1\n"
+
+
+class ResultCache:
+    """A directory of checksummed, atomically-published result entries.
+
+    ``injector`` threads the service's fault injector through to the
+    ``cache_corrupt_entry`` injection point (fired after a put, so the
+    *next* get exercises the quarantine path).
+    """
+
+    def __init__(self, directory: str, injector=None):
+        self.directory = directory
+        self.injector = injector
+        os.makedirs(directory, exist_ok=True)
+        self.stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "writes": 0, "quarantined": 0,
+        }
+        #: accounting of quarantined entries: one dict per event.
+        self.quarantine_log: List[Dict[str, str]] = []
+
+    # -- paths ---------------------------------------------------------------
+    def entry_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.entry")
+
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.directory, "quarantine")
+
+    # -- write ---------------------------------------------------------------
+    def put(self, key: str, payload: str, meta: Optional[dict] = None) -> str:
+        """Publish ``payload`` under ``key``; returns the entry path."""
+        data = payload.encode("utf-8")
+        header = json.dumps(
+            {
+                "key": key,
+                "payload_bytes": len(data),
+                "sha256": hashlib.sha256(data).hexdigest(),
+                "meta": meta or {},
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        path = self.entry_path(key)
+        atomic_write_bytes(path, _MAGIC + header + b"\n" + data)
+        self.stats["writes"] += 1
+        if self.injector is not None:
+            params = self.injector.fire(
+                "cache_corrupt_entry", key=key,
+                app=(meta or {}).get("app"),
+            )
+            if params is not None:
+                _corrupt_entry(path, int(params.get("offset", 8)))
+        return path
+
+    # -- read ----------------------------------------------------------------
+    def get(self, key: str) -> Optional[str]:
+        """Return the payload for ``key``, or ``None`` on miss.
+
+        A corrupt or truncated entry is quarantined and reported as a
+        miss -- the caller re-simulates; it never sees bad bytes.
+        """
+        path = self.entry_path(key)
+        try:
+            with open(path, "rb") as f:
+                blob = f.read()
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        payload = self._verify(key, blob)
+        if payload is None:
+            self._quarantine(key, path)
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        return payload
+
+    def _verify(self, key: str, blob: bytes) -> Optional[str]:
+        if not blob.startswith(_MAGIC):
+            return None
+        rest = blob[len(_MAGIC):]
+        newline = rest.find(b"\n")
+        if newline < 0:
+            return None
+        try:
+            header = json.loads(rest[:newline])
+        except ValueError:
+            return None
+        data = rest[newline + 1:]
+        if (
+            not isinstance(header, dict)
+            or header.get("key") != key
+            or header.get("payload_bytes") != len(data)
+            or header.get("sha256") != hashlib.sha256(data).hexdigest()
+        ):
+            return None
+        return data.decode("utf-8")
+
+    def _quarantine(self, key: str, path: str) -> None:
+        qdir = self.quarantine_dir()
+        os.makedirs(qdir, exist_ok=True)
+        dest = os.path.join(qdir, f"{key}.entry")
+        try:
+            os.replace(path, dest)
+        except OSError:  # pragma: no cover -- racing unlink
+            dest = ""
+        self.stats["quarantined"] += 1
+        self.quarantine_log.append({"key": key, "path": dest})
+
+
+def _corrupt_entry(path: str, offset: int) -> None:
+    """Flip one payload byte in place (the cache_corrupt_entry fault)."""
+    with open(path, "r+b") as f:
+        f.seek(0, os.SEEK_END)
+        size = f.tell()
+        pos = max(0, size - 1 - max(0, offset))
+        f.seek(pos)
+        byte = f.read(1)
+        f.seek(pos)
+        f.write(bytes([byte[0] ^ 0xFF]))

@@ -77,6 +77,100 @@ class TestProfile:
         assert err == "error: device exploded\n"
 
 
+class TestInterruptHygiene:
+    def test_ctrl_c_is_one_line_and_exit_130(self, capsys, monkeypatch):
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli.CUDAAdvisor.profile", interrupted)
+        assert main(["profile", "nn"]) == 130
+        captured = capsys.readouterr()
+        assert captured.err == "interrupted\n"
+        assert "Traceback" not in captured.err
+
+    def test_ctrl_c_reaps_live_workers(self, capsys, monkeypatch):
+        import multiprocessing
+        import time
+
+        def spawn_then_die(*args, **kwargs):
+            ctx = multiprocessing.get_context("fork")
+            proc = ctx.Process(target=time.sleep, args=(60,))
+            proc.daemon = True
+            proc.start()
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli.CUDAAdvisor.profile", spawn_then_die)
+        assert main(["profile", "nn"]) == 130
+        captured = capsys.readouterr()
+        assert captured.err == "interrupted (reaped 1 worker processes)\n"
+        assert multiprocessing.active_children() == []
+
+
+class TestServe:
+    def test_serve_smoke_streams_events_and_caches(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        out_dir = tmp_path / "out"
+        code = main([
+            "serve", "nn", "--workers", "0", "--repeat", "2",
+            "--modes", "memory,blocks", "--no-overhead",
+            "--cache-dir", str(cache), "-o", str(out_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "job-1" in out and "job-2" in out
+        assert "done" in out
+        assert "counters:" in out and "cache:" in out
+        # the repeat of the identical spec coalesces onto the in-flight
+        # job instead of re-simulating
+        assert "source=coalesced" in out
+        written = list(out_dir.glob("nn-*.json"))
+        assert len(written) == 1  # both jobs share one key -> one artifact
+        import json
+
+        assert json.loads(written[0].read_text())["program"] == "nn"
+
+    def test_serve_usage_errors(self, capsys):
+        assert main(["serve", "nn", "--workers", "-1"]) == 2
+        assert "--workers must be >= 0" in capsys.readouterr().err
+        assert main(["serve", "nn", "--repeat", "0"]) == 2
+        assert "--repeat must be >= 1" in capsys.readouterr().err
+
+    def test_serve_unknown_app_rejected(self, capsys):
+        assert main(["serve", "doom"]) == 2
+        assert "unknown app 'doom'" in capsys.readouterr().err
+
+
+class TestCacheDirFlag:
+    def test_profile_cache_dir_needs_format_json(self, tmp_path, capsys):
+        assert main([
+            "profile", "nn", "--cache-dir", str(tmp_path),
+        ]) == 2
+        assert "--format json" in capsys.readouterr().err
+
+    def test_export_cache_dir_rejects_include_runtime(self, tmp_path,
+                                                      capsys):
+        assert main([
+            "export", "nn", "--cache-dir", str(tmp_path),
+            "--include-runtime",
+        ]) == 2
+        assert "--include-runtime" in capsys.readouterr().err
+
+    def test_export_cache_dir_cold_then_warm(self, tmp_path, capsys):
+        import json
+
+        args = ["export", "nn", "--no-overhead",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "cache fresh:" in cold.err
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        # key stability across invocations: the second run is a hit
+        assert "cache cache-hit:" in warm.err
+        assert warm.out == cold.out
+        assert json.loads(warm.out)["program"] == "nn"
+
+
 class TestPTX:
     def test_ptx_dump(self, capsys):
         assert main(["ptx", "nn", "--cc", "6.0"]) == 0

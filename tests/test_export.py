@@ -24,10 +24,12 @@ from repro.cli import main
 from repro.export import (
     SCHEMA_VERSION,
     SchemaError,
+    assemble_ndjson,
     export_json,
     iter_errors,
     load_schema,
     profile_export,
+    profile_export_stream,
     validate,
 )
 from repro.optim.advisor import CUDAAdvisor
@@ -144,6 +146,40 @@ class TestDrainIdentity:
         doc = profile_export(_profile("nn", streaming=True))
         validate(doc)
         assert doc["heatmap"]["total_accesses"] > 0
+
+
+class TestNDJSON:
+    """Streamed emission: one record per top-level section (pinned)."""
+
+    def test_records_reassemble_into_canonical_document(self, nn_report):
+        lines = list(profile_export_stream(nn_report))
+        reassembled = assemble_ndjson(lines)
+        assert export_json(reassembled) == export_json(
+            profile_export(nn_report)
+        )
+
+    def test_one_compact_record_per_section_sorted(self, nn_report, nn_doc):
+        lines = list(profile_export_stream(nn_report))
+        records = [json.loads(line) for line in lines]
+        assert [r["section"] for r in records] == sorted(nn_doc)
+        for line, record in zip(lines, records):
+            assert set(record) == {"section", "value"}
+            assert line.endswith("\n") and "\n" not in line[:-1]
+            assert record["value"] == nn_doc[record["section"]]
+
+    def test_assemble_skips_blank_lines(self, nn_doc):
+        lines = [
+            json.dumps({"section": k, "value": v}) + "\n"
+            for k, v in nn_doc.items()
+        ]
+        assert assemble_ndjson(["\n"] + lines + ["", "\n"]) == nn_doc
+
+    def test_cli_export_ndjson(self, capsys):
+        assert main(["export", "nn", "--no-overhead", "--ndjson"]) == 0
+        out = capsys.readouterr().out
+        doc = assemble_ndjson(out.splitlines())
+        validate(doc)
+        assert doc["program"] == "nn"
 
 
 class TestCLI:

@@ -135,6 +135,8 @@ class TestFaultInjector:
     def test_registry_constants(self):
         assert set(INJECTION_POINTS) == {
             "worker_crash", "shard_hang", "buffer_overflow", "corrupt_spill",
+            "service_worker_crash", "service_job_hang", "cache_corrupt_entry",
+            "service_pool_loss",
         }
         assert len(REASON_CODES) == len(set(REASON_CODES))
         assert set(FAILURE_POLICIES) == {"strict", "degrade", "best_effort"}
