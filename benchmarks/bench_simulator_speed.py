@@ -11,20 +11,33 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_simulator_speed.py [options]
 
-    --quick             3-app subset with scaled-down inputs (CI smoke)
+    --quick             small-app subset with scaled-down inputs (CI)
     --update-baseline   store this run as the comparison baseline
     --workers N         exercise the parallel launch path with N workers
     --backend NAME      execution backend ("interpreter" or "batched")
     --sample-rate N     trace sampling stride for the instrumented runs
-    --repeat N          run each measurement N times, keep the minimum
-                        wall time (the usual robust estimator on noisy,
-                        shared machines; event counts are deterministic
-                        and identical across repeats)
+    --repeat N          run each measurement N times and keep the
+                        trimmed mean of the wall times (min and max
+                        dropped when N >= 3, plain minimum otherwise):
+                        robust against both one slow outlier and one
+                        lucky cache-warm run on noisy shared machines;
+                        event counts are deterministic and identical
+                        across repeats
     --floor R           with a non-interpreter backend: exit nonzero if
                         any app's instrumented vs_interpreter speedup
                         falls below R (the CI regression guard; e.g.
                         --floor 0.95 means "no app may run more than 5%
                         slower than the interpreter")
+    --fused             measure analysis wall time instead of raw
+                        simulator speed: for each FUSED_APPS entry,
+                        time execute+analyze end-to-end under the
+                        in-RAM batch path, the streaming drain and the
+                        fused in-flight path, and record per-app
+                        ``vs_inram`` / ``vs_stream`` speedups in a
+                        ``fused`` section of the results file. With
+                        --floor R, exit nonzero if any app's fused
+                        ``vs_inram`` speedup falls below R (the fused
+                        CI perf gate)
     --rss               measure drain peak RSS instead of speed: each
                         configuration runs in a forked child and reports
                         its instrumentation-attributable ru_maxrss
@@ -79,10 +92,14 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"
 RESULT_FILE = os.path.join(RESULTS_DIR, "BENCH_simulator.json")
 
 #: Reduced inputs for --quick (CI smoke): still end-to-end, just small.
+#: syrk runs at 4x its previous quick trace (n 32 -> 64 quadruples the
+#: C elements and so the event count) and syr2k joins the suite -- the
+#: ROADMAP input-scaling rung the fused path makes affordable.
 QUICK_APPS: Dict[str, dict] = {
     "bfs": {"num_nodes": 256},
     "hotspot": {"n": 32, "steps": 2},
-    "syrk": {"n": 32},
+    "syrk": {"n": 64},
+    "syr2k": {"n": 48},
 }
 
 INSTRUMENT_MODES = ["memory", "blocks", "arith"]
@@ -119,6 +136,28 @@ RSS_APPS: Dict[str, dict] = {
         "scaled": {"n": 256},  # 4x cells: work scales with n^2
         "ceiling_kb": 8192,
     },
+    "syrk": {
+        "small": {"n": 64},
+        "scaled": {"n": 128},  # 4x trace: events scale with n^2 * m
+        "ceiling_kb": 16384,
+    },
+    "syr2k": {
+        "small": {"n": 64},
+        "scaled": {"n": 128},  # 4x trace: events scale with n^2 * m
+        "ceiling_kb": 16384,
+    },
+}
+
+#: --fused comparison inputs: large enough that analysis dominates the
+#: run (the regime the fused path exists for), small enough for CI.
+#: Every app here must clear the CI --floor (1.5x vs the in-RAM batch
+#: path). Simulation-dominated apps gain less and are deliberately not
+#: gated: hotspot measures ~1.4x at any input scale because its wall
+#: time is the interpreter, not the analyzers.
+FUSED_APPS: Dict[str, dict] = {
+    "syrk": {"n": 40, "m": 40},
+    "syr2k": {"n": 32, "m": 32},
+    "bfs": {"num_nodes": 8192},
 }
 
 #: Cache-line size handed to the drain-time analyzers in --rss runs.
@@ -174,6 +213,19 @@ def _run_app(
     }
 
 
+def _trimmed(samples: List[float]) -> float:
+    """Trimmed mean: drop the min and max when N >= 3, else the min.
+
+    The trimmed mean discards both the one-off scheduler hiccup (the
+    max) and the suspiciously lucky fully-warm run (the min), which a
+    plain minimum would happily report as "the" time.
+    """
+    if len(samples) >= 3:
+        kept = sorted(samples)[1:-1]
+        return sum(kept) / len(kept)
+    return min(samples)
+
+
 def _best_of(
     repeat: int,
     app_name: str,
@@ -183,14 +235,16 @@ def _best_of(
     backend: str = "interpreter",
     sample_rate: int = 1,
 ) -> dict:
-    """Min wall time over ``repeat`` runs (counts are deterministic)."""
-    best = None
-    for _ in range(max(1, repeat)):
-        result = _run_app(app_name, app_kwargs, instrumented, workers,
-                          backend, sample_rate)
-        if best is None or result["wall_s"] < best["wall_s"]:
-            best = result
-    return best
+    """Trimmed-mean wall time over ``repeat`` runs (counts are
+    deterministic and identical across repeats)."""
+    runs = [
+        _run_app(app_name, app_kwargs, instrumented, workers,
+                 backend, sample_rate)
+        for _ in range(max(1, repeat))
+    ]
+    result = dict(runs[0])
+    result["wall_s"] = _trimmed([r["wall_s"] for r in runs])
+    return result
 
 
 def run_suite(
@@ -377,10 +431,120 @@ def run_rss_suite(repeat: int = 1) -> dict:
     return {"apps": per_app, "passed": passed}
 
 
+def _analysis_run(app_name: str, app_kwargs: dict, mode: str,
+                  spill_dir: str) -> float:
+    """Wall seconds for one execute+analyze run under ``mode``.
+
+    ``inram`` materializes the trace in RAM and runs the batch
+    analyses over it afterwards (the classic pipeline); ``stream``
+    spills ``RSS_SPILL_ROWS``-row segments and drains them through an
+    :func:`advisor_plan` bank at kernel end; ``fused`` feeds the same
+    bank in flight, so no trace is ever materialized or spilled (the
+    spill config only sets the flush granularity). All three produce
+    byte-identical analyzer results; only where the work happens --
+    and therefore the wall time -- differs, which is exactly what this
+    measures: the timed region covers the app run *and* the analyses.
+    """
+    app = build_app(app_name, **app_kwargs)
+    module = compile_kernels(list(app.kernels), app_name)
+    optimization_pipeline().run(module)
+    instrumentation_pipeline(INSTRUMENT_MODES).run(module)
+    if mode == "inram":
+        session = ProfilingSession()
+    else:
+        plan = advisor_plan(RSS_LINE_SIZE, INSTRUMENT_MODES)
+        session = ProfilingSession(
+            spill_dir=spill_dir,
+            spill_rows=RSS_SPILL_ROWS,
+            streaming=plan if mode == "stream" else None,
+            fused=plan if mode == "fused" else None,
+        )
+    device = Device(KEPLER_K40C)
+    rt = CudaRuntime(device, profiler=session)
+    image = device.load_module(module)
+    state = app.prepare(rt)
+
+    start = time.perf_counter()
+    app.run(rt, image, state)
+    if mode == "inram":
+        for profile in session.profiles:
+            reuse_distance_analysis(
+                profile, ReuseDistanceModel.ELEMENT, RSS_LINE_SIZE
+            )
+            reuse_distance_analysis(
+                profile, ReuseDistanceModel.CACHE_LINE, RSS_LINE_SIZE
+            )
+            memory_divergence_analysis(profile, RSS_LINE_SIZE)
+            branch_divergence_analysis(profile)
+            arithmetic_analysis(profile)
+    else:
+        for profile in session.profiles:
+            profile.aggregates.results()
+    return time.perf_counter() - start
+
+
+def run_fused_suite(repeat: int = 1) -> dict:
+    """Execute+analyze wall time: in-RAM vs streaming vs fused.
+
+    Per :data:`FUSED_APPS` entry, the trimmed-mean-of-``repeat`` wall
+    time of each pipeline shape plus the ``vs_inram`` / ``vs_stream``
+    speedup ratios of the fused path. The results are comparable
+    because the three paths compute byte-identical analyzer output.
+    """
+    per_app: Dict[str, dict] = {}
+    for name, kwargs in FUSED_APPS.items():
+        times: Dict[str, float] = {}
+        for mode in ("inram", "stream", "fused"):
+            samples = []
+            for _ in range(max(1, repeat)):
+                with tempfile.TemporaryDirectory() as spill_dir:
+                    samples.append(
+                        _analysis_run(name, kwargs, mode, spill_dir)
+                    )
+            times[mode] = _trimmed(samples)
+        per_app[name] = {
+            "kwargs": kwargs,
+            "inram_s": round(times["inram"], 4),
+            "stream_s": round(times["stream"], 4),
+            "fused_s": round(times["fused"], 4),
+            "vs_inram": round(times["inram"] / times["fused"], 3)
+            if times["fused"] else None,
+            "vs_stream": round(times["stream"] / times["fused"], 3)
+            if times["fused"] else None,
+        }
+        print(
+            f"{name:>10}: in-RAM {times['inram']:7.3f}s   "
+            f"stream {times['stream']:7.3f}s   "
+            f"fused {times['fused']:7.3f}s   "
+            f"{per_app[name]['vs_inram']:.2f}x vs in-RAM   "
+            f"{per_app[name]['vs_stream']:.2f}x vs stream"
+        )
+    total = {
+        mode: sum(app[f"{mode}_s"] for app in per_app.values())
+        for mode in ("inram", "stream", "fused")
+    }
+    aggregate = {
+        "inram_s": round(total["inram"], 4),
+        "stream_s": round(total["stream"], 4),
+        "fused_s": round(total["fused"], 4),
+        "vs_inram": round(total["inram"] / total["fused"], 3)
+        if total["fused"] else None,
+        "vs_stream": round(total["stream"] / total["fused"], 3)
+        if total["fused"] else None,
+    }
+    print(
+        f"{'TOTAL':>10}: in-RAM {total['inram']:7.3f}s   "
+        f"stream {total['stream']:7.3f}s   "
+        f"fused {total['fused']:7.3f}s   "
+        f"{aggregate['vs_inram']:.2f}x vs in-RAM"
+    )
+    return {"apps": per_app, "aggregate": aggregate}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
-                        help="3-app scaled-down smoke run")
+                        help="small-app subset smoke run (CI)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="store this run as the comparison baseline")
     parser.add_argument("--workers", type=int, default=None,
@@ -391,22 +555,72 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--sample-rate", type=int, default=1,
                         help="trace-sampling stride for instrumented runs")
     parser.add_argument("--repeat", type=int, default=1,
-                        help="repeat each measurement N times, keep the min")
+                        help="repeat each measurement N times, keep the "
+                        "trimmed mean (min+max dropped when N >= 3)")
     parser.add_argument("--floor", type=float, default=None,
                         help="fail (exit 1) if any app's instrumented "
                         "vs_interpreter speedup drops below this ratio "
                         "(needs a non-interpreter --backend and a prior "
-                        "interpreter run of the same suite)")
+                        "interpreter run of the same suite); with "
+                        "--fused, gates each app's fused vs_inram "
+                        "speedup instead")
+    parser.add_argument("--fused", action="store_true",
+                        help="measure execute+analyze wall time on the "
+                        "FUSED_APPS inputs: in-RAM batch vs streaming "
+                        "drain vs fused in-flight analysis; records a "
+                        "'fused' section in the results file")
     parser.add_argument("--rss", action="store_true",
                         help="measure attributable drain peak RSS on the "
                         "paper-scale RSS_APPS inputs instead of speed; "
                         "exit 1 if the streaming drain breaches its "
                         "ceiling or the in-RAM drain's small-input RSS")
     args = parser.parse_args(argv)
-    if args.floor is not None and args.backend == "interpreter":
-        parser.error("--floor needs a non-interpreter --backend")
-    if args.rss and (args.floor is not None or args.update_baseline):
-        parser.error("--rss is standalone; drop --floor/--update-baseline")
+    if (args.floor is not None and args.backend == "interpreter"
+            and not args.fused):
+        parser.error("--floor needs a non-interpreter --backend or --fused")
+    if args.rss and (args.floor is not None or args.update_baseline
+                     or args.fused):
+        parser.error("--rss is standalone; drop "
+                     "--floor/--update-baseline/--fused")
+    if args.fused and args.update_baseline:
+        parser.error("--fused is standalone; drop --update-baseline")
+
+    if args.fused:
+        fused = run_fused_suite(repeat=args.repeat)
+        fused["config"] = {
+            "spill_rows": RSS_SPILL_ROWS,
+            "line_size": RSS_LINE_SIZE,
+            "modes": INSTRUMENT_MODES,
+            "repeat": args.repeat,
+            "python": sys.version.split()[0],
+        }
+        existing_fused: dict = {}
+        if os.path.exists(RESULT_FILE):
+            with open(RESULT_FILE) as f:
+                existing_fused = json.load(f)
+        existing_fused["fused"] = fused
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(RESULT_FILE, "w") as f:
+            json.dump(existing_fused, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {RESULT_FILE}")
+        if args.floor is not None:
+            slow = {
+                name: app["vs_inram"]
+                for name, app in fused["apps"].items()
+                if app["vs_inram"] is not None
+                and app["vs_inram"] < args.floor
+            }
+            if slow:
+                print(f"--floor {args.floor}: fused apps below the "
+                      f"per-app vs_inram floor: " + ", ".join(
+                          f"{name} ({ratio:.3f}x)"
+                          for name, ratio in sorted(slow.items())
+                      ), file=sys.stderr)
+                return 1
+            print(f"--floor {args.floor}: every app's fused path at or "
+                  f"above the floor vs the in-RAM batch path")
+        return 0
 
     if args.rss:
         rss = run_rss_suite(repeat=args.repeat)

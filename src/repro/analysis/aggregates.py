@@ -17,10 +17,12 @@ fully materialized trace (pinned by ``tests/test_streaming_drain.py``):
   per-CTA cursor state across segment boundaries -- a CTA's events
   appear in trace order within every segment, so concatenating its
   per-segment slices reproduces the exact per-CTA stream the batch
-  path regroups. The Fenwick trees behind the distance algorithms are
-  **compacting**: when the time axis fills, live (marked) slots are
-  renumbered 0..k-1 in order, which preserves every range count and
-  keeps state O(distinct elements) instead of O(events).
+  path regroups. The reuse cursor answers a whole segment at once with
+  an offline dominance count (:func:`_prefix_rank_gt`) instead of a
+  per-event Fenwick walk, carrying only each distinct element's last
+  global position -- O(distinct elements) state, no per-event Python
+  loop. The stack-distance cursor keeps the classic compacting Fenwick
+  (its hole-sinking semantics are inherently sequential).
 * Histogram-shaped results are integer sums, so per-segment
   accumulation order cannot change them.
 * Dict-ordered results (per-site tables) record a canonical
@@ -65,82 +67,136 @@ from repro.errors import AnalysisError
 #: drain, and compaction resizes to 2x the live-slot count anyway.
 _INITIAL_SLOTS = 128
 
+#: Largest event batch :class:`_OnlineReuse` processes at once; larger
+#: feeds are split so transient numpy scratch stays bounded.
+_FEED_CHUNK = 2048
+
+
+def _prefix_rank_gt(values: np.ndarray, prefix_len: np.ndarray,
+                    thresholds: np.ndarray) -> np.ndarray:
+    """``out[i] = #{k < prefix_len[i] : values[k] > thresholds[i]}``.
+
+    The fully vectorized offline form of a merge-sort tree: every query
+    prefix decomposes into at most ``log2(n)`` power-of-two blocks, and
+    at each level the blocks are sorted once so a batched
+    ``searchsorted`` ranks all thresholds against all blocks at once
+    (block index packed into the key's high bits). Both ``values`` and
+    ``thresholds`` are rank-compressed first, so rank comparison is
+    value comparison and the packed keys stay far below 2**63.
+    """
+    n = int(values.size)
+    q = int(prefix_len.size)
+    out = np.zeros(q, dtype=np.int64)
+    if n == 0 or q == 0 or not prefix_len.size:
+        return out
+    maxp = int(prefix_len.max())
+    if maxp == 0:
+        return out
+    # Hand-rolled unique: np.unique lazily imports numpy.ma, which
+    # alone costs ~1 MB of RSS -- real money against the streaming
+    # drain's O(segment) memory budget.
+    uniq = np.sort(np.concatenate([values, thresholds]))
+    keep = np.empty(uniq.size, dtype=bool)
+    keep[:1] = True
+    np.not_equal(uniq[1:], uniq[:-1], out=keep[1:])
+    uniq = uniq[keep]
+    del keep
+    v = np.searchsorted(uniq, values)
+    t = np.searchsorted(uniq, thresholds)
+    m = int(uniq.size)
+    shift = int(m + 1).bit_length()
+    for level in range(maxp.bit_length()):
+        size = 1 << level
+        has = (prefix_len & size) != 0
+        if not np.any(has):
+            continue
+        if size == 1:
+            # Level 0 blocks are single elements: compare directly.
+            base = (prefix_len & ~1)[has]
+            out[has] += v[base] > t[has]
+            continue
+        nb = (n + size - 1) // size
+        # The sentinel rank m never lands inside a queried block: every
+        # block used by some query ends at base+size <= prefix_len <= n.
+        padded = np.full(nb * size, m, dtype=np.int64)
+        padded[:n] = v
+        blocks = padded.reshape(nb, size)
+        blocks.sort(axis=1)  # in place: no second n-sized copy
+        keys = (
+            (np.arange(nb, dtype=np.int64)[:, None] << shift) | blocks
+        ).ravel()
+        del padded, blocks
+        blk = ((prefix_len & ~((size << 1) - 1)) >> level)[has]
+        qk = (blk << shift) | t[has]
+        pos = np.searchsorted(keys, qk, side="right")
+        del keys
+        out[has] += size - (pos - blk * size)
+    return out
+
 
 class _OnlineReuse:
     """Per-CTA reuse-distance cursor carried across segment boundaries.
 
     Implements exactly the recurrence of
     :func:`repro.analysis.reuse_distance.reuse_distances_of_trace`, but
-    over an unbounded stream: the Fenwick tree compacts its time axis
-    whenever it fills, so memory stays proportional to the number of
-    *distinct* elements the CTA has touched, not its event count.
+    over an unbounded stream -- with **no per-event loop**. The cursor
+    carries each distinct element's last *global* event position (and
+    whether that access was a write) in two sorted parallel numpy
+    arrays; a whole segment is then answered at once:
 
-    The carry state is held in two parallel numpy arrays (sorted
-    element keys, packed ``slot << 1 | last_was_write`` values) rather
-    than per-element dicts: with one cursor alive per (CTA, model) for
-    the whole drain, boxed-int dict tables were the dominant term of
-    streaming peak RSS. Each ``feed`` resolves every event's previous
-    occurrence *vectorized* up front (stable argsort for within-segment
-    repeats, ``searchsorted`` into the carry map for firsts), so the
-    sequential part of the loop is only the Fenwick updates the batch
-    algorithm does anyway.
+    For a read at segment offset ``tau`` whose previous occurrence sits
+    at global position ``p``, the reuse distance (distinct elements
+    accessed strictly between the two occurrences) decomposes into
+
+    ``distance = M + U - R``
+
+    where ``M`` counts carried-in last-occurrence marks at positions
+    ``> p`` (zero automatically when ``p`` is in-segment), ``U`` counts
+    the event positions inside the window (positions are dense, so this
+    is arithmetic), and ``R`` counts *removals*: events ``j`` before
+    ``tau`` whose own previous occurrence lies at a position ``> p`` --
+    each such event re-accessed (and thus un-counts) a mark that ``M``
+    or ``U`` included. ``R`` is a 2-D dominance count over (prev
+    position, segment offset) pairs, computed for all reads at once by
+    :func:`_prefix_rank_gt`.
+
+    State stays O(distinct elements); there is no time axis to compact
+    because positions are global and never renumbered.
     """
 
-    __slots__ = ("write_restart", "_tree", "_cap", "_t", "_marked",
-                 "_keys", "_vals", "reads_seen")
+    __slots__ = ("write_restart", "_t", "_keys", "_vals", "reads_seen")
 
     def __init__(self, write_restart: bool = True,
                  initial_slots: int = _INITIAL_SLOTS):
         self.write_restart = write_restart
-        self._cap = initial_slots
-        self._tree = _Fenwick(self._cap)
+        #: total events fed so far = next global event position.
         self._t = 0
-        #: which time slots are live (= last occurrence of an element).
-        self._marked = np.zeros(self._cap, dtype=bool)
         #: sorted distinct elements seen so far.
         self._keys = np.empty(0, dtype=np.int64)
-        #: per key: last slot << 1 | last access was a write.
+        #: per key: last global position << 1 | last access was a write.
         self._vals = np.empty(0, dtype=np.int64)
         #: total read events fed so far (site ordering keys use this).
         self.reads_seen = 0
-
-    def _compact(self, slot_of_event: List[int], upto: int,
-                 carry_slot: List[int]) -> None:
-        # Renumber the marked (live) time slots to 0..k-1 in order.
-        # Range counts between live slots only ever count live slots,
-        # so an order-preserving renumbering changes no distance. Any
-        # slot still referenced by pending state is live: carry values
-        # are elements' last occurrences, and a within-segment prev is
-        # only read while it is still its element's latest access.
-        live = np.flatnonzero(self._marked[: self._t])
-        k = int(live.size)
-        self._cap = max(_INITIAL_SLOTS, 2 * k)
-        self._tree = _Fenwick(self._cap)
-        for i in range(k):
-            self._tree.add(i, 1)
-        marked = np.zeros(self._cap, dtype=bool)
-        marked[:k] = True
-        self._marked = marked
-        self._t = k
-        if self._vals.size:
-            slots = np.searchsorted(live, self._vals >> 1)
-            self._vals = (slots << 1) | (self._vals & 1)
-        if upto:
-            prefix = np.asarray(slot_of_event[:upto], dtype=np.int64)
-            slot_of_event[:upto] = np.searchsorted(live, prefix).tolist()
-        if carry_slot:
-            pending = np.asarray(carry_slot, dtype=np.int64)
-            valid = pending >= 0
-            pending[valid] = np.searchsorted(live, pending[valid])
-            carry_slot[:] = pending.tolist()
 
     def feed(self, elements: np.ndarray, writes: np.ndarray) -> np.ndarray:
         """Advance the stream; returns the distance of every *read*."""
         n = len(elements)
         if not n:
             return np.empty(0, dtype=np.int64)
+        if n > _FEED_CHUNK:
+            # Segmentation is free for this cursor -- the carry state
+            # is exact across any boundary -- so bound the transient
+            # working set (roughly twenty n-sized arrays live during a
+            # feed) by our own chunk size, not the caller's segment
+            # size. Peak RSS of a streaming drain is set right here.
+            return np.concatenate([
+                self.feed(elements[i:i + _FEED_CHUNK],
+                          writes[i:i + _FEED_CHUNK])
+                for i in range(0, n, _FEED_CHUNK)
+            ])
         elements = np.asarray(elements, dtype=np.int64)
         w_int = np.asarray(writes, dtype=np.int64)
+        base = self._t
         # Previous occurrence of each event's element, segment-local:
         # a stable sort by element keeps equal elements in trace order.
         order = np.argsort(elements, kind="stable")
@@ -154,58 +210,76 @@ class _OnlineReuse:
         # First occurrences look up the carry map instead.
         firsts = order[~same]
         fe = sorted_el[~same]
-        carry_slot = np.full(n, -1, dtype=np.int64)
+        del sorted_el, rep
+        carry_pos = np.full(n, -1, dtype=np.int64)
         carry_write = np.zeros(n, dtype=bool)
         if self._keys.size:
             pos = np.searchsorted(self._keys, fe)
             hit = pos < self._keys.size
             hit[hit] = self._keys[pos[hit]] == fe[hit]
             packed = self._vals[pos[hit]]
-            carry_slot[firsts[hit]] = packed >> 1
+            carry_pos[firsts[hit]] = packed >> 1
             carry_write[firsts[hit]] = (packed & 1).astype(bool)
+            del pos, hit, packed
+        del firsts
 
-        out: List[int] = []
-        slot_of_event = [0] * n
-        prev_idx_l = prev_idx.tolist()
-        writes_l = w_int.tolist()
-        carry_slot_l = carry_slot.tolist()
-        carry_write_l = carry_write.tolist()
-        restart = self.write_restart
-        marked = self._marked
-        for i in range(n):
-            if self._t >= self._cap:
-                self._compact(slot_of_event, i, carry_slot_l)
-                marked = self._marked
-            t = self._t
-            tree = self._tree
-            j = prev_idx_l[i]
-            if j >= 0:
-                prev = slot_of_event[j]
-                prev_write = writes_l[j]
+        # Every event's previous occurrence as a global position.
+        # Scratch arrays are dropped the moment they are consumed:
+        # peak streaming RSS is the widest set of live n-sized arrays
+        # in this function.
+        has_seg_prev = prev_idx >= 0
+        prev_pos = np.where(has_seg_prev, base + prev_idx, carry_pos)
+        prev_write = np.where(
+            has_seg_prev, w_int[prev_idx] != 0, carry_write
+        )
+        del has_seg_prev, prev_idx, carry_pos, carry_write
+        is_read = w_int == 0
+        out = np.full(n, INFINITE, dtype=np.int64)
+        finite = is_read & (prev_pos >= 0)
+        if self.write_restart:
+            finite &= ~prev_write
+        del prev_write
+        # An event's tau (segment offset) is its own index, so q_idx
+        # doubles as the query taus.
+        q_idx = np.flatnonzero(finite)
+        del finite
+        if q_idx.size:
+            q_prev = prev_pos[q_idx]
+            # U: event positions strictly inside (p, base + tau).
+            in_seg = q_prev >= base
+            window = np.where(in_seg, base + q_idx - q_prev - 1, q_idx)
+            del in_seg
+            # M: carried marks past p (all carries sit below base, so
+            # this is zero whenever p is in-segment).
+            if self._vals.size:
+                marks = np.sort(self._vals >> 1)
+                m_gt = marks.size - np.searchsorted(
+                    marks, q_prev, side="right"
+                )
+                del marks
             else:
-                prev = carry_slot_l[i]
-                prev_write = carry_write_l[i]
-            if not writes_l[i]:
-                if prev < 0 or (restart and prev_write):
-                    out.append(INFINITE)
-                else:
-                    out.append(tree.range_sum(prev + 1, t - 1))
-            if prev >= 0:
-                tree.add(prev, -1)
-                marked[prev] = False
-            tree.add(t, +1)
-            marked[t] = True
-            slot_of_event[i] = t
-            self._t = t + 1
-        self.reads_seen += len(out)
+                m_gt = 0
+            # R: removals before tau of marks past p. Arc events are
+            # every event with *any* previous occurrence, in segment
+            # order (their tau values are ascending by construction).
+            arc_idx = np.flatnonzero(prev_pos >= 0)
+            arc_prev = prev_pos[arc_idx]
+            plen = np.searchsorted(arc_idx, q_idx, side="left")
+            removals = _prefix_rank_gt(arc_prev, plen, q_prev)
+            del arc_idx, arc_prev, plen, q_prev
+            out[q_idx] = window + m_gt - removals
+            del window, removals
+        del prev_pos, q_idx
+        result = out[is_read]
+        del out, is_read
+        self.reads_seen += int(result.size)
 
-        # Write back each distinct element's final (slot, was_write);
+        # Write back each distinct element's final (position, was_write);
         # stable sort keeps old entries first, so "keep the last of
         # each duplicate run" prefers this segment's value.
         ends = np.flatnonzero(np.append(~same[1:], True))
         last_events = order[ends]
-        soe = np.asarray(slot_of_event, dtype=np.int64)
-        new_packed = (soe[last_events] << 1) | w_int[last_events]
+        new_packed = ((base + last_events) << 1) | w_int[last_events]
         keys = np.concatenate([self._keys, fe])
         vals = np.concatenate([self._vals, new_packed])
         mo = np.argsort(keys, kind="stable")
@@ -214,7 +288,8 @@ class _OnlineReuse:
         keep = np.append(keys[1:] != keys[:-1], True)
         self._keys = keys[keep]
         self._vals = vals[keep]
-        return np.asarray(out, dtype=np.int64)
+        self._t = base + n
+        return result
 
 
 class _OnlineStack:

@@ -118,6 +118,18 @@ def _add_profiling_args(profile: argparse.ArgumentParser) -> None:
         "(O(segment) peak memory; raw records are not retained)",
     )
     profile.add_argument(
+        "--fused", action="store_true",
+        help="fused in-flight analysis: rows stream into the analyzer "
+        "aggregates during execution (no spill I/O, no drain pass; "
+        "byte-identical results, raw records are not retained)",
+    )
+    profile.add_argument(
+        "--drain-workers", type=int, default=None,
+        help="fork-parallel width of the kernel-exit segment drain for "
+        "spilled --streaming-drain runs (serial when sampling or a "
+        "capacity cap requires global stream order)",
+    )
+    profile.add_argument(
         "--heatmap-cell-rows", type=int, default=None,
         help="kept memory accesses per CTA per heat-map time cell "
         "(default 256; finer cells = finer time resolution)",
@@ -208,6 +220,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="persistent pool workers (0: serial in-process)")
     serve.add_argument("--cache-dir", default=None,
                        help="content-addressed result cache directory")
+    serve.add_argument("--cache-max-bytes", type=int, default=None,
+                       help="result-cache size budget: least-recently-"
+                       "used entries are evicted once the on-disk "
+                       "payloads exceed this many bytes")
     serve.add_argument("--repeat", type=int, default=1,
                        help="submit the whole app list N times")
     serve.add_argument("--job-timeout", type=float, default=30.0,
@@ -273,6 +289,13 @@ def _advisor_from_args(args, modes, heatmap: bool) -> CUDAAdvisor:
         raise _UsageError("--workers must be >= 1")
     if args.sample_rate < 1:
         raise _UsageError("--sample-rate must be >= 1")
+    if args.streaming_drain and args.fused:
+        raise _UsageError(
+            "--fused and --streaming-drain are mutually exclusive: the "
+            "fused path already streams rows through the analyzers"
+        )
+    if args.drain_workers is not None and args.drain_workers < 1:
+        raise _UsageError("--drain-workers must be >= 1")
     if args.spill_rows is not None and args.spill_dir is None:
         raise _UsageError("--spill-rows needs --spill-dir")
     if args.spill_rows is not None and args.spill_rows < 1:
@@ -301,6 +324,8 @@ def _advisor_from_args(args, modes, heatmap: bool) -> CUDAAdvisor:
         spill_dir=args.spill_dir,
         spill_rows=args.spill_rows or 65536,
         streaming_drain=args.streaming_drain,
+        fused_drain=args.fused,
+        drain_workers=args.drain_workers,
         heatmap=heatmap,
         **kwargs,
     )
@@ -327,6 +352,8 @@ def _submit_config(args, modes, heatmap) -> dict:
         ("spill_dir", args.spill_dir),
         ("spill_rows", args.spill_rows),
         ("streaming_drain", args.streaming_drain or None),
+        ("fused_drain", args.fused or None),
+        ("drain_workers", args.drain_workers),
     ):
         if value is not None:
             config[hint] = value
@@ -503,9 +530,12 @@ def _cmd_serve(args) -> int:
         "sample_rate": args.sample_rate,
         "measure_overhead": not args.no_overhead,
     }
+    if args.cache_max_bytes is not None and args.cache_max_bytes < 1:
+        raise _UsageError("--cache-max-bytes must be >= 1")
     with ProfilingService(
         workers=args.workers,
         cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
         job_timeout=args.job_timeout,
         max_attempts=args.max_attempts,
         failure_policy=args.failure_policy,

@@ -42,6 +42,7 @@ from repro.reliability.shards import (
 )
 from repro.reliability.supervisor import (
     FORK_UNAVAILABLE,
+    FUSED_RECORDS_UNAVAILABLE,
     PC_SAMPLING_BATCHED,
     PC_SAMPLING_PARALLEL,
     SHARD_TIMEOUT,
@@ -476,6 +477,18 @@ class Device:
                 backend=backend,
             )
             backend = "interpreter"
+        if pc_sampler is not None and getattr(hooks, "fused", False):
+            # Sample attribution needs the raw trace records; this
+            # launch materializes its trace like a non-fused run.
+            self.supervisor.degrade(
+                FUSED_RECORDS_UNAVAILABLE,
+                kernel_name,
+                "pc sampling needs raw trace records: fused in-flight "
+                "analysis is disabled for this launch and the trace is "
+                "materialized",
+                backend=backend,
+            )
+            hooks.disable_fused()
         self._launch_backend = backend
         self._launch_spec = (
             self.jit_cache.specialize(image, kernel_name)

@@ -299,9 +299,17 @@ class CUDAAdvisor:
         spill_dir: Optional[str] = None,
         spill_rows: int = 65536,
         streaming_drain: bool = False,
+        fused_drain: bool = False,
+        drain_workers: Optional[int] = None,
         heatmap: bool = False,
         heatmap_cell_rows: int = DEFAULT_CELL_ROWS,
     ):
+        if streaming_drain and fused_drain:
+            raise AnalysisError(
+                "streaming_drain and fused_drain are mutually exclusive: "
+                "the fused path already streams rows through the "
+                "analyzer bank in flight"
+            )
         self.arch = arch
         self.modes = tuple(modes)
         self.optimize = optimize
@@ -322,6 +330,17 @@ class CUDAAdvisor:
         #: are not retained, so leave this off when post-hoc record
         #: inspection is needed.
         self.streaming_drain = streaming_drain
+        #: analyze rows *in flight*: buffered rows flush into the
+        #: analyzer bank at segment granularity during execution, so
+        #: the trace is never spilled, re-read or drained. Results stay
+        #: byte-identical to the streaming drain; launches that need
+        #: raw records (pc sampling) degrade per launch with a
+        #: ``fused-records-unavailable`` warning.
+        self.fused_drain = fused_drain
+        #: fork-parallel width of the kernel-exit segment drain for
+        #: spill workloads on the *streaming* path (no effect when no
+        #: sampling/capacity constraint forces the serial relay).
+        self.drain_workers = drain_workers
         #: build the per-allocation x time heat map (needs "memory" mode);
         #: cell_rows sets kept memory instructions per CTA per time cell.
         self.heatmap = heatmap
@@ -349,6 +368,16 @@ class CUDAAdvisor:
             device.failure_policy = self.failure_policy
         return CudaRuntime(device, profiler=profiler)
 
+    def _plan(self):
+        """The analyzer plan both drain modes stream rows through."""
+        return advisor_plan(
+            self.arch.l1_line_size,
+            self.modes,
+            heatmap_cell_rows=(
+                self.heatmap_cell_rows if self.heatmap else None
+            ),
+        )
+
     # -- main entry points ----------------------------------------------------------
     def profile(self, program: GPUProgram) -> AdvisorReport:
         """Run the full Figure 1 workflow for one program."""
@@ -371,17 +400,9 @@ class CUDAAdvisor:
             sample_rate=self.sample_rate,
             spill_dir=self.spill_dir,
             spill_rows=self.spill_rows,
-            streaming=(
-                advisor_plan(
-                    self.arch.l1_line_size,
-                    self.modes,
-                    heatmap_cell_rows=(
-                        self.heatmap_cell_rows if self.heatmap else None
-                    ),
-                )
-                if self.streaming_drain
-                else None
-            ),
+            streaming=self._plan() if self.streaming_drain else None,
+            fused=self._plan() if self.fused_drain else None,
+            drain_workers=self.drain_workers,
         )
         rt = self._fresh_runtime(profiler=session)
         module = self._compile(program, instrument=True)

@@ -101,6 +101,11 @@ class _ColumnarBase:
         self.spilled = 0
         #: rows lost to corrupted spill segments (on_corrupt="drop").
         self.corrupt_dropped = 0
+        #: fused in-flight analysis: ``sink(buffer)`` fires whenever the
+        #: in-memory rows reach ``sink_rows`` (instead of spilling);
+        #: see :class:`repro.profiler.streamdrain.FusedSink`.
+        self.sink = None
+        self.sink_rows = 0
         self._n = 0
         self._alloc = 0
         self._spilled_rows = 0  # rows currently on disk (pre-drain)
@@ -148,6 +153,24 @@ class _ColumnarBase:
             and self._n >= self.spill.segment_rows
         ):
             self._spill_segment()
+        elif self.sink is not None and self._n >= self.sink_rows:
+            self.sink(self)
+
+    def detach_rows(self):
+        """Hand the buffered rows over as a zero-copy column view.
+
+        The fused sink's segment hand-off: returns ``None`` when empty,
+        otherwise a view over the live column prefixes. The buffer
+        forgets the arrays (the next append allocates fresh ones), so
+        the view is never mutated after detach.
+        """
+        if self._cols is None or not self._n:
+            return None
+        view = self._view(self._spill_payload())
+        self._reset_memory()
+        self._n = 0
+        self._alloc = 0
+        return view
 
     def _spill_segment(self) -> None:
         rows = self._n

@@ -26,7 +26,12 @@ from repro.profiler.buffers import (
 from repro.reliability.spill import SpillConfig
 from repro.reliability.supervisor import TRACE_SEGMENT_CORRUPT
 from repro.profiler.codecentric import CallPathRegistry, GPUPathEntry
-from repro.profiler.streamdrain import StreamDrain, StreamedRecords
+from repro.profiler.streamdrain import (
+    FusedSink,
+    StreamDrain,
+    StreamedRecords,
+    parallel_segment_drain,
+)
 from repro.profiler.records import (
     ArithRecord,
     BlockRecord,
@@ -91,9 +96,17 @@ class HookRuntime:
         sample_rate: int = 1,
         spill: Optional[SpillConfig] = None,
         streaming=None,
+        fused=None,
+        drain_workers: Optional[int] = None,
     ):
         if sample_rate < 1:
             raise ProfilerError("sample_rate must be >= 1")
+        if fused is not None and streaming is not None:
+            raise ProfilerError(
+                "fused and streaming are mutually exclusive: fused "
+                "analysis already streams rows through the bank in "
+                "flight"
+            )
         self.image = image
         self.kernel = kernel
         self.host_call_path = host_call_path
@@ -115,6 +128,16 @@ class HookRuntime:
         #: placeholders. The plan itself is never pickled -- shard
         #: workers inherit it through fork.
         self._streaming = streaming
+        #: an :class:`~repro.analysis.aggregates.AnalyzerPlan` (or None):
+        #: fused in-flight analysis -- the buffers flush into the plan's
+        #: bank at segment granularity *during* execution (no spill I/O,
+        #: no drain pass; see streamdrain.FusedSink). Byte-identical to
+        #: streaming; disabled per launch when raw records are needed
+        #: (``disable_fused``).
+        self._fused = fused
+        #: fork-parallel segment drain width for streamed spill
+        #: workloads (None/1 keeps the serial relay).
+        self._drain_workers = drain_workers
         self._shard_states: List[dict] = []
 
         # -- reliability wiring (docs/reliability.md) ---------------------
@@ -138,10 +161,24 @@ class HookRuntime:
         self._spill = spill
 
         event_capacity = buffer_capacity if sample_rate == 1 else None
-        self.memory_buffer = ColumnarMemoryBuffer(event_capacity, spill)
-        self.block_buffer = ColumnarBlockBuffer(buffer_capacity, spill)
-        self.arith_buffer = ColumnarArithBuffer(event_capacity, spill)
+        # Fused launches never spill: rows leave the buffers through the
+        # sink before a segment could hit disk. The buffer_overflow
+        # injection's tiny segment size still applies -- as the flush
+        # granularity -- so overflow handling stays exercised.
+        buffer_spill = None if fused is not None else spill
+        self.memory_buffer = ColumnarMemoryBuffer(event_capacity, buffer_spill)
+        self.block_buffer = ColumnarBlockBuffer(buffer_capacity, buffer_spill)
+        self.arith_buffer = ColumnarArithBuffer(event_capacity, buffer_spill)
         self.call_paths = CallPathRegistry()
+
+        self._fused_bank = None
+        self._fused_drain = None
+        self._fused_sink = None
+        self._fused_flush_rows = (
+            spill.segment_rows if spill is not None else 65536
+        )
+        if fused is not None:
+            self._attach_fused_sink()
 
         self._seq = 0
         self._launch_info: Optional[dict] = None
@@ -154,6 +191,48 @@ class HookRuntime:
         self._root_entry: Optional[GPUPathEntry] = None
         self.profile: Optional[KernelProfile] = None
         self.on_complete = None  # callable(profile), set by the session
+
+    def _attach_fused_sink(self) -> None:
+        """Wire the current buffers into a fresh fused bank + drain."""
+        self._fused_bank = self._fused.create_bank()
+        on_corrupt = (
+            "drop" if self._spill is None else self._spill.on_corrupt
+        )
+        self._fused_drain = StreamDrain(
+            self._fused_bank, self.sample_rate, self._capacity, on_corrupt
+        )
+        self._fused_sink = FusedSink(
+            self._fused_drain, self.memory_buffer, self.block_buffer,
+            self.arith_buffer, self._fused_flush_rows,
+        )
+
+    @property
+    def fused(self) -> bool:
+        """Whether this launch analyzes rows in flight (no raw trace)."""
+        return self._fused is not None
+
+    def disable_fused(self) -> None:
+        """Back out of fused mode before any hook fires.
+
+        Called by ``Device.launch`` (after degrading with
+        ``FUSED_RECORDS_UNAVAILABLE``) when the launch needs raw trace
+        records -- e.g. pc sampling. The buffers are still empty, so
+        they are rebuilt with the classic capacity/spill wiring and the
+        launch materializes its trace exactly as a non-fused run.
+        """
+        if self._fused is None:
+            return
+        self._fused_sink.detach()
+        self._fused = None
+        self._fused_bank = None
+        self._fused_drain = None
+        self._fused_sink = None
+        event_capacity = (
+            self._capacity if self.sample_rate == 1 else None
+        )
+        self.memory_buffer = ColumnarMemoryBuffer(event_capacity, self._spill)
+        self.block_buffer = ColumnarBlockBuffer(self._capacity, self._spill)
+        self.arith_buffer = ColumnarArithBuffer(event_capacity, self._spill)
 
     # -- interpreter-facing API -----------------------------------------------------
     def kernel_begin(self, launch_info: dict) -> None:
@@ -176,6 +255,9 @@ class HookRuntime:
             raise ProfilerError(f"unknown hook @{name}")
 
     def kernel_end(self, launch_result) -> None:
+        if self._fused is not None:
+            self._kernel_end_fused(launch_result)
+            return
         if self._streaming is not None:
             self._kernel_end_streaming(launch_result)
             return
@@ -252,9 +334,31 @@ class HookRuntime:
                 drain.stats.absorb(state["stats"])
             else:
                 drain.feed_shard_state(state)
-        drain.feed_buffers(
-            self.memory_buffer, self.block_buffer, self.arith_buffer
-        )
+        parallel = None
+        if (
+            self.sample_rate == 1
+            and self._capacity is None
+            and self._drain_workers is not None
+            and self._drain_workers >= 2
+        ):
+            # Global-stream order does not matter (no sampling phase,
+            # no keep-first cutoff), so spilled segments can drain
+            # through forked analyzer banks and merge bank-to-bank.
+            device = getattr(self.image, "device", None)
+            num_sms = getattr(getattr(device, "arch", None), "num_sms", 0)
+            if num_sms >= 2:
+                parallel = parallel_segment_drain(
+                    self._streaming, self.memory_buffer,
+                    self.block_buffer, self.arith_buffer,
+                    num_sms, self._drain_workers, on_corrupt,
+                )
+        if parallel is not None:
+            bank.merge(parallel["bank"])
+            drain.stats.absorb(parallel["stats"].as_dict())
+        else:
+            drain.feed_buffers(
+                self.memory_buffer, self.block_buffer, self.arith_buffer
+            )
         buffers = (self.memory_buffer, self.block_buffer, self.arith_buffer)
         corrupt = (
             sum(b.corrupt_dropped for b in buffers)
@@ -296,6 +400,70 @@ class HookRuntime:
         if self.on_complete is not None:
             self.on_complete(self.profile)
 
+    def _kernel_end_fused(self, launch_result) -> None:
+        """Seal the in-flight bank: the trace was analyzed as it ran.
+
+        Own rows already streamed through the fused sink during
+        execution (only a sub-segment tail remains to flush). Shard
+        states merge first in SM order -- exactly the streaming drain's
+        contract -- which is safe because a fork-parallel launch never
+        dispatches hooks in the parent, so the parent's drain cursors
+        are untouched until this point.
+        """
+        info = self._launch_info or {}
+        bank = self._fused_bank
+        drain = self._fused_drain
+        shard_dropped = shard_spilled = shard_corrupt = 0
+        states, self._shard_states = self._shard_states, []
+        for state in states:
+            acct = state["accounting"]
+            shard_dropped += acct["dropped"]
+            shard_spilled += acct["spilled"]
+            shard_corrupt += acct["corrupt"]
+            if "bank" in state:
+                bank.merge(state["bank"])
+                drain.stats.absorb(state["stats"])
+            else:
+                drain.feed_shard_state(state)
+        self._fused_sink.flush()
+        buffers = (self.memory_buffer, self.block_buffer, self.arith_buffer)
+        corrupt = (
+            sum(b.corrupt_dropped for b in buffers)
+            + drain.corrupt_rows
+            + shard_corrupt
+        )
+        if corrupt:
+            self._report_corruption(corrupt)
+        bank.seal()
+        stats = drain.stats
+        self.profile = KernelProfile(
+            kernel=self.kernel,
+            host_call_path=self.host_call_path,
+            launch_site=self.launch_site,
+            grid=info.get("grid", (0, 0, 0)),
+            block=info.get("block", (0, 0, 0)),
+            num_ctas=info.get("num_ctas", 0),
+            warps_per_cta=info.get("warps_per_cta", 0),
+            memory_records=StreamedRecords("memory", stats.memory_rows),
+            block_records=StreamedRecords("block", stats.block_rows),
+            arith_records=StreamedRecords("arith", stats.arith_rows),
+            call_paths=self.call_paths,
+            functions_by_id=self.image.functions_by_id,
+            dropped_records=(
+                sum(b.dropped for b in buffers)
+                + drain.clipped
+                + drain.corrupt_rows
+                + shard_dropped
+            ),
+            launch_result=launch_result,
+            spilled_records=sum(b.spilled for b in buffers) + shard_spilled,
+            corrupt_records=corrupt,
+            aggregates=bank,
+            stream_stats=stats.as_dict(),
+        )
+        if self.on_complete is not None:
+            self.on_complete(self.profile)
+
     def _report_corruption(self, rows: int) -> None:
         """Surface dropped-corrupt-segment rows through the supervisor."""
         device = getattr(self.image, "device", None)
@@ -319,17 +487,32 @@ class HookRuntime:
         matches a serial run exactly. Spill stays active (a shard's
         segments are written and drained inside the worker).
         """
-        self.memory_buffer = ColumnarMemoryBuffer(None, self._spill)
-        self.block_buffer = ColumnarBlockBuffer(None, self._spill)
-        self.arith_buffer = ColumnarArithBuffer(None, self._spill)
+        shard_spill = None if self._fused is not None else self._spill
+        self.memory_buffer = ColumnarMemoryBuffer(None, shard_spill)
+        self.block_buffer = ColumnarBlockBuffer(None, shard_spill)
+        self.arith_buffer = ColumnarArithBuffer(None, shard_spill)
         self.call_paths = CallPathRegistry()
         self._seq = 0
         self._warp_stacks = {}
         self._warp_path_ids = {}
         self._shard_states = []
+        if self._fused is not None:
+            if self.sample_rate == 1 and self._capacity is None:
+                # The shard's kept rows are exactly its trace, so it
+                # can fuse locally and ship its bank.
+                self._attach_fused_sink()
+            else:
+                # Stride phase / keep-first cutoff depend on earlier
+                # shards' row counts: materialize in RAM and relay the
+                # rows for the parent's running cursors.
+                self._fused_bank = None
+                self._fused_drain = None
+                self._fused_sink = None
 
     def export_shard(self) -> dict:
         """Pickleable trace state a shard worker sends back."""
+        if self._fused is not None:
+            return self._export_shard_fused()
         if self._streaming is not None:
             return self._export_shard_streaming()
         return {
@@ -380,6 +563,35 @@ class HookRuntime:
         }
         return state
 
+    def _export_shard_fused(self) -> dict:
+        """State a fused shard worker ships back to the parent.
+
+        Mirrors :meth:`_export_shard_streaming`: with no sampling and
+        no capacity the worker's rows already live in its fused bank
+        (flush the tail, ship the bank); otherwise the worker
+        materialized rows in RAM and relays them as a tail-only stream
+        state for the parent's drain.
+        """
+        buffers = (self.memory_buffer, self.block_buffer, self.arith_buffer)
+        state = {
+            "paths": list(self.call_paths._paths),
+            "seq_total": self._seq,
+        }
+        if self._fused_sink is not None:
+            self._fused_sink.flush()
+            state["bank"] = self._fused_bank
+            state["stats"] = self._fused_drain.stats.as_dict()
+        else:
+            state["memory"] = self.memory_buffer.export_stream_state()
+            state["block"] = self.block_buffer.export_stream_state()
+            state["arith"] = self.arith_buffer.export_stream_state()
+        state["accounting"] = {
+            "dropped": sum(b.dropped for b in buffers),
+            "spilled": sum(b.spilled for b in buffers),
+            "corrupt": sum(b.corrupt_dropped for b in buffers),
+        }
+        return state
+
     def absorb_shards(self, shard_states) -> None:
         """Merge shard traces back, in SM order, as if run serially.
 
@@ -389,8 +601,8 @@ class HookRuntime:
         parent registry in shard order -- first-encounter order across
         the concatenated stream, identical to a serial run.
         """
-        if self._streaming is not None:
-            # Streaming mode defers consumption to kernel_end: stash
+        if self._streaming is not None or self._fused is not None:
+            # Streaming/fused mode defers consumption to kernel_end: stash
             # the states in SM order, keep the call-path registry's
             # first-encounter order identical to the in-RAM remap, and
             # advance the seq counter. Relayed columns keep their

@@ -43,6 +43,13 @@ class ProfilingSession:
     drains its trace *through* the plan's analyzer bank one spill
     segment at a time (O(segment) peak memory) and the resulting
     profiles carry ``aggregates`` instead of materialized records.
+
+    ``fused`` takes the same kind of plan but analyzes rows *during*
+    execution: buffered rows flush into the bank at segment granularity
+    and the trace is never spilled or drained at all -- byte-identical
+    results, minus the round-trip. ``drain_workers`` widens the
+    kernel-exit drain of *streaming* (spill) launches across forked
+    analyzer banks when no sampling/capacity is in play.
     """
 
     def __init__(self, buffer_capacity: Optional[int] = None,
@@ -50,7 +57,9 @@ class ProfilingSession:
                  spill_dir: Optional[str] = None,
                  spill_rows: int = 65536,
                  spill: Optional[SpillConfig] = None,
-                 streaming=None):
+                 streaming=None,
+                 fused=None,
+                 drain_workers: Optional[int] = None):
         SESSION_COUNTERS["sessions_created"] += 1
         self.buffer_capacity = buffer_capacity
         self.sample_rate = sample_rate
@@ -58,6 +67,8 @@ class ProfilingSession:
             spill = SpillConfig(directory=spill_dir, segment_rows=spill_rows)
         self.spill = spill
         self.streaming = streaming
+        self.fused = fused
+        self.drain_workers = drain_workers
         self.profiles: List[KernelProfile] = []
         self.host_buffers: List[HostBuffer] = []
         self.device_allocations: List[DeviceAllocationRecord] = []
@@ -94,6 +105,8 @@ class ProfilingSession:
             sample_rate=self.sample_rate,
             spill=self.spill,
             streaming=self.streaming,
+            fused=self.fused,
+            drain_workers=self.drain_workers,
         )
         hooks.on_complete = self.profiles.append
         return hooks

@@ -10,6 +10,12 @@ bad magic, unparseable header, short payload, checksum mismatch -- is
 its key, atomically), an accounting record is appended, and the caller
 sees a miss, so the service transparently re-simulates and re-publishes
 a good entry.
+
+``max_bytes`` puts the directory on a size budget with LRU eviction:
+every entry's recency is its file mtime (bumped on each hit, so the
+order survives process restarts), and a put that pushes the total over
+budget unlinks least-recently-used entries first -- surfaced through
+the ``evictions`` / ``evicted_bytes`` stats.
 """
 
 from __future__ import annotations
@@ -32,15 +38,31 @@ class ResultCache:
     *next* get exercises the quarantine path).
     """
 
-    def __init__(self, directory: str, injector=None):
+    def __init__(self, directory: str, injector=None,
+                 max_bytes: Optional[int] = None):
         self.directory = directory
         self.injector = injector
+        self.max_bytes = max_bytes
         os.makedirs(directory, exist_ok=True)
         self.stats: Dict[str, int] = {
             "hits": 0, "misses": 0, "writes": 0, "quarantined": 0,
+            "evictions": 0, "evicted_bytes": 0,
         }
         #: accounting of quarantined entries: one dict per event.
         self.quarantine_log: List[Dict[str, str]] = []
+        #: key -> (size, mtime) of entries under budget accounting;
+        #: seeded from the directory so restarts keep the LRU order.
+        self._sizes: Dict[str, int] = {}
+        if max_bytes is not None:
+            for name in os.listdir(directory):
+                if not name.endswith(".entry"):
+                    continue
+                try:
+                    self._sizes[name[:-len(".entry")]] = os.path.getsize(
+                        os.path.join(directory, name)
+                    )
+                except OSError:  # pragma: no cover -- racing unlink
+                    pass
 
     # -- paths ---------------------------------------------------------------
     def entry_path(self, key: str) -> str:
@@ -72,7 +94,35 @@ class ResultCache:
             )
             if params is not None:
                 _corrupt_entry(path, int(params.get("offset", 8)))
+        if self.max_bytes is not None:
+            try:
+                self._sizes[key] = os.path.getsize(path)
+            except OSError:  # pragma: no cover -- racing unlink
+                self._sizes[key] = len(data)
+            self._evict(keep=key)
         return path
+
+    def _evict(self, keep: str) -> None:
+        """Unlink LRU entries until the budget holds (never ``keep``)."""
+        total = sum(self._sizes.values())
+        if total <= self.max_bytes:
+            return
+        by_age = sorted(
+            (k for k in self._sizes if k != keep),
+            key=lambda k: os.path.getmtime(self.entry_path(k))
+            if os.path.exists(self.entry_path(k)) else 0.0,
+        )
+        for key in by_age:
+            if total <= self.max_bytes:
+                break
+            size = self._sizes.pop(key)
+            try:
+                os.unlink(self.entry_path(key))
+            except OSError:  # pragma: no cover -- racing unlink
+                pass
+            total -= size
+            self.stats["evictions"] += 1
+            self.stats["evicted_bytes"] += size
 
     # -- read ----------------------------------------------------------------
     def get(self, key: str) -> Optional[str]:
@@ -94,6 +144,11 @@ class ResultCache:
             self.stats["misses"] += 1
             return None
         self.stats["hits"] += 1
+        if self.max_bytes is not None:
+            try:
+                os.utime(path)  # bump recency: a hit is a "use"
+            except OSError:  # pragma: no cover -- racing unlink
+                pass
         return payload
 
     def _verify(self, key: str, blob: bytes) -> Optional[str]:
@@ -127,6 +182,7 @@ class ResultCache:
             dest = ""
         self.stats["quarantined"] += 1
         self.quarantine_log.append({"key": key, "path": dest})
+        self._sizes.pop(key, None)
 
 
 def _corrupt_entry(path: str, offset: int) -> None:

@@ -90,7 +90,7 @@ _SPEC_FIELDS = (
 #: execution-hint keys forwarded to the worker (never part of the key).
 _HINT_FIELDS = (
     "backend", "parallel_workers", "failure_policy", "spill_dir",
-    "spill_rows", "streaming_drain",
+    "spill_rows", "streaming_drain", "fused_drain", "drain_workers",
 )
 
 
@@ -129,6 +129,7 @@ class ProfilingService:
         self,
         workers: int = 2,
         cache_dir: Optional[str] = None,
+        cache_max_bytes: Optional[int] = None,
         job_timeout: Optional[float] = None,
         max_attempts: int = 3,
         backoff: float = 0.05,
@@ -146,7 +147,8 @@ class ProfilingService:
         self.backoff = backoff
         self.injector = injector
         self.cache = (
-            ResultCache(cache_dir, injector=injector)
+            ResultCache(cache_dir, injector=injector,
+                        max_bytes=cache_max_bytes)
             if cache_dir is not None else None
         )
         self.counters: Dict[str, int] = {

@@ -58,6 +58,27 @@ class TestProfile:
         assert main(["profile", "nn", "--workers", "0"]) == 2
         assert "--workers must be >= 1" in capsys.readouterr().err
 
+    def test_fused_and_streaming_drain_rejected(self, capsys):
+        assert main([
+            "profile", "nn", "--fused", "--streaming-drain",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--fused and --streaming-drain are mutually exclusive" in err
+
+    def test_bad_drain_workers_rejected(self, capsys):
+        assert main(["profile", "nn", "--drain-workers", "0"]) == 2
+        assert "--drain-workers must be >= 1" in capsys.readouterr().err
+
+    def test_profile_fused(self, capsys):
+        code = main([
+            "profile", "nn", "--fused", "--modes", "memory,blocks",
+            "--no-overhead",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "### RD_mode" in out
+        assert "### advice" in out
+
     def test_failure_policy_flag(self, capsys):
         assert main([
             "profile", "nn", "--modes", "memory", "--no-overhead",
@@ -134,6 +155,8 @@ class TestServe:
         assert "--workers must be >= 0" in capsys.readouterr().err
         assert main(["serve", "nn", "--repeat", "0"]) == 2
         assert "--repeat must be >= 1" in capsys.readouterr().err
+        assert main(["serve", "nn", "--cache-max-bytes", "0"]) == 2
+        assert "--cache-max-bytes must be >= 1" in capsys.readouterr().err
 
     def test_serve_unknown_app_rejected(self, capsys):
         assert main(["serve", "doom"]) == 2

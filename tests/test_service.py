@@ -80,6 +80,7 @@ class TestResultCache:
         assert cache.get("k1") == "payload text\n"
         assert cache.stats == {
             "hits": 1, "misses": 0, "writes": 1, "quarantined": 0,
+            "evictions": 0, "evicted_bytes": 0,
         }
 
     def test_miss(self, tmp_path):
@@ -134,6 +135,68 @@ class TestResultCache:
         cache.put("k1", "payload\n")
         assert cache.get("k1") is None
         assert cache.stats["quarantined"] == 1
+
+
+class TestResultCacheLRU:
+    """Size-budgeted eviction: mtime is the recency clock."""
+
+    PAYLOAD = "x" * 256
+
+    def _entry_size(self, tmp_path):
+        # All keys are the same length, so every entry is this size.
+        probe = ResultCache(str(tmp_path / "probe"))
+        return os.path.getsize(probe.put("k0", self.PAYLOAD))
+
+    def test_oldest_evicted_once_over_budget(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = ResultCache(str(tmp_path / "c"), max_bytes=2 * size)
+        for age, key in enumerate(["k1", "k2"]):
+            cache.put(key, self.PAYLOAD)
+            os.utime(cache.entry_path(key), (100.0 + age, 100.0 + age))
+        assert cache.stats["evictions"] == 0
+        cache.put("k3", self.PAYLOAD)  # over budget: k1 is LRU
+        assert not os.path.exists(cache.entry_path("k1"))
+        assert cache.get("k2") == self.PAYLOAD
+        assert cache.get("k3") == self.PAYLOAD  # the fresh put survives
+        assert cache.stats["evictions"] == 1
+        assert cache.stats["evicted_bytes"] == size
+
+    def test_hit_bumps_recency(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = ResultCache(str(tmp_path / "c"), max_bytes=2 * size)
+        for age, key in enumerate(["k1", "k2"]):
+            cache.put(key, self.PAYLOAD)
+            os.utime(cache.entry_path(key), (100.0 + age, 100.0 + age))
+        assert cache.get("k1") == self.PAYLOAD  # a hit is a "use"
+        cache.put("k3", self.PAYLOAD)
+        # k2, not k1, is now the least recently used entry
+        assert not os.path.exists(cache.entry_path("k2"))
+        assert cache.get("k1") == self.PAYLOAD
+
+    def test_budget_accounting_survives_restart(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        first = ResultCache(str(tmp_path / "c"), max_bytes=2 * size)
+        for age, key in enumerate(["k1", "k2"]):
+            first.put(key, self.PAYLOAD)
+            os.utime(first.entry_path(key), (100.0 + age, 100.0 + age))
+        # A fresh process seeds sizes and order from the directory.
+        cache = ResultCache(str(tmp_path / "c"), max_bytes=2 * size)
+        cache.put("k3", self.PAYLOAD)
+        assert not os.path.exists(cache.entry_path("k1"))
+        assert cache.get("k2") == self.PAYLOAD
+        assert cache.get("k3") == self.PAYLOAD
+        assert cache.stats["evictions"] == 1
+
+    def test_quarantine_releases_budget(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = ResultCache(str(tmp_path / "c"), max_bytes=2 * size)
+        path = cache.put("k1", self.PAYLOAD)
+        with open(path, "r+b") as f:
+            f.write(b"junk")
+        assert cache.get("k1") is None  # quarantined: off-budget now
+        cache.put("k2", self.PAYLOAD)
+        cache.put("k3", self.PAYLOAD)
+        assert cache.stats["evictions"] == 0  # both fit again
 
 
 # -- the client API ----------------------------------------------------------
